@@ -1,0 +1,27 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures and saves
+the rendered rows under ``benchmarks/results/`` so the numbers survive
+the run (pytest captures stdout).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def save_result():
+    """Write (and echo) a named result artifact."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+        return path
+
+    return _save

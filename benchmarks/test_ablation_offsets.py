@@ -1,0 +1,40 @@
+"""Ablations -- Δn sizing and epoch resynchronisation (DESIGN.md Sec. 4).
+
+1. Δn sizing: Δn lower-bounds every inbound packet's latency, but a Δn
+   below the replicas' virtual-time spread violates the synchrony
+   assumption and produces divergences (Sec. V-A footnote 4, VII-A).
+2. Epoch resynchronisation: with a skewed boot slope, virtual time
+   drifts from real time unless epochs resynchronise it; shorter epochs
+   track tighter (at a timing-leak cost, which is why the paper advises
+   large I).
+"""
+
+from repro.analysis import (
+    delta_n_ablation,
+    epoch_resync_ablation,
+    format_table,
+)
+
+
+def test_delta_n_sizing(benchmark, save_result):
+    rows = benchmark.pedantic(delta_n_ablation, rounds=1, iterations=1)
+    rendered = [(dn * 1000, rtt * 1000, div) for dn, rtt, div in rows]
+    save_result("ablation_delta_n.txt", format_table(
+        ["delta_n ms", "mean echo RTT ms", "divergences"], rendered))
+    # latency grows with Δn...
+    assert rows[-1][1] > rows[0][1]
+    # ...and only small Δn values violate synchrony
+    assert rows[0][2] > 0
+    assert rows[-1][2] == 0
+
+
+def test_epoch_resync_drift(benchmark, save_result):
+    rows = benchmark.pedantic(epoch_resync_ablation, rounds=1,
+                              iterations=1)
+    rendered = [("off" if epoch is None else epoch, drift * 1000)
+                for epoch, drift in rows]
+    save_result("ablation_epoch_resync.txt", format_table(
+        ["epoch instructions", "|virt - real| drift ms"], rendered))
+    drift_off = rows[0][1]
+    drift_shortest = rows[-1][1]
+    assert drift_shortest < 0.25 * drift_off

@@ -1,0 +1,44 @@
+"""Fig. 5 -- HTTP and UDP file-retrieval latency.
+
+Regenerates the four curves over file sizes 1 KB - 10 MB.
+
+Shape expectations (paper): HTTP over StopWatch loses < ~2.8x for files
+>= 100 KB (worse for small files, where handshake packets dominate);
+UDP with NAK-based reliability over StopWatch is competitive with the
+baselines at >= 100 KB; baseline UDP is comparable to baseline TCP
+(within a factor of two).
+"""
+
+from repro.analysis import fig5_file_download, format_table
+
+SIZES = (1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def test_fig5_file_download(benchmark, save_result):
+    rows = benchmark.pedantic(fig5_file_download,
+                              kwargs={"sizes": SIZES, "trials": 1},
+                              rounds=1, iterations=1)
+    rendered = [(size, hb * 1000, hs * 1000, ub * 1000, us * 1000,
+                 hs / hb, us / ub)
+                for size, hb, hs, ub, us in rows]
+    save_result("fig5_file_download.txt", format_table(
+        ["size B", "HTTP base ms", "HTTP SW ms", "UDP base ms",
+         "UDP SW ms", "HTTP ratio", "UDP ratio"], rendered))
+
+    by_size = {size: (hb, hs, ub, us) for size, hb, hs, ub, us in rows}
+    http_ratios = []
+    for size in (100_000, 1_000_000, 10_000_000):
+        http_base, http_sw, udp_base, udp_sw = by_size[size]
+        http_ratios.append(http_sw / http_base)
+        assert http_sw / http_base < 3.6          # paper: < 2.8x
+        # UDP+NAK beats TCP's relative cost under StopWatch
+        assert udp_sw / udp_base < http_sw / http_base
+    # HTTP ratio improves (or holds) as size grows; large files ~< 3x
+    assert http_ratios[-1] <= http_ratios[0] + 0.1
+    assert http_ratios[-1] < 3.1
+    # UDP over StopWatch converges toward baseline for large files
+    _, _, udp_base, udp_sw = by_size[10_000_000]
+    assert udp_sw / udp_base < 1.6
+    # baseline UDP comparable to baseline TCP (within ~2x either way)
+    http_base, _, udp_base, _ = by_size[1_000_000]
+    assert 0.5 < udp_base / http_base < 2.0

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""A timing covert channel, cut by StopWatch (threat-model demo).
+
+A Trojan inside the victim VM signals bits to a coresident attacker VM
+by modulating host load in 400 ms slots (bursting datagrams during
+"1" slots).  The attacker, receiving a constant-rate ping stream,
+decodes bits from per-slot mean inter-arrival times on its own clock.
+
+Run:  python examples/covert_channel_demo.py   (~30 seconds)
+"""
+
+from repro.attacks import run_covert_channel
+
+
+def show(result) -> None:
+    sent = "".join(str(b) for b in result.bits_sent)
+    got = "".join(str(b) for b in result.bits_decoded)
+    marks = "".join(" " if a == b else "^"
+                    for a, b in zip(result.bits_sent, result.bits_decoded))
+    label = "StopWatch" if result.mediated else "unmodified Xen"
+    print(f"\n{label}:")
+    print(f"  sent    {sent}")
+    print(f"  decoded {got}")
+    print(f"  errors  {marks}")
+    print(f"  bit error rate: {result.bit_error_rate:.2f}")
+
+
+def main() -> None:
+    print("Covert channel: Trojan victim -> coresident attacker")
+    print("(bit 1 = burst of I/O load in that 400 ms slot)")
+    show(run_covert_channel(mediated=False, n_bits=24))
+    show(run_covert_channel(mediated=True, n_bits=24))
+    print("\nUnder StopWatch the decoded stream is near coin-flipping: "
+          "the attacker's\nclocks are deterministic in its own progress "
+          "and its I/O timings are medians.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""File-download performance, HTTP vs UDP+NAK (paper Fig. 5, shortened).
+
+Shows the paper's two Sec. VII-C findings:
+
+1. TCP downloads pay StopWatch's Δn on every inbound packet (SYN, ACKs),
+   costing up to ~2.8x for large files and more for small ones.
+2. A transport that minimises inbound packets -- UDP with NAK-based
+   reliability, as in PGM -- makes download over StopWatch competitive
+   with unmodified Xen.
+
+Run:  python examples/file_download.py   (~1 minute)
+"""
+
+from repro.analysis import fig5_file_download, format_table
+
+SIZES = (1_000, 10_000, 100_000, 1_000_000)
+
+
+def main() -> None:
+    print(f"Downloading files of {len(SIZES)} sizes under four "
+          f"configurations (baseline/StopWatch x HTTP/UDP)...")
+    rows = fig5_file_download(sizes=SIZES, trials=1)
+    rendered = [
+        (f"{size // 1000} KB", http_base * 1000, http_sw * 1000,
+         http_sw / http_base, udp_base * 1000, udp_sw * 1000,
+         udp_sw / udp_base)
+        for size, http_base, http_sw, udp_base, udp_sw in rows
+    ]
+    print(format_table(
+        ["file", "HTTP base ms", "HTTP StopWatch ms", "HTTP ratio",
+         "UDP base ms", "UDP StopWatch ms", "UDP ratio"], rendered))
+    print("\nNote how the HTTP ratio stays bounded near ~3x and falls "
+          "with file size\n(the paper reports <2.8x for >= 100 KB), "
+          "while UDP+NAK over StopWatch\napproaches baseline speed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Attacker models and side-channel experiments.
+
+- :mod:`repro.attacks.clocks` -- Wray's clock taxonomy realised inside a
+  guest: an attacker workload that timestamps its observable events with
+  every clock the guest can build (RT = virtual time, IO = interrupt
+  arrivals, TL = branch counter, PIT ticks).
+- :mod:`repro.attacks.sidechannel` -- the Fig. 4 experiment: an attacker
+  VM measuring inter-packet delivery times while a victim VM serving
+  files is (or is not) coresident with one of its replicas.
+- :mod:`repro.attacks.covert` -- an access-driven timing covert channel:
+  a Trojan victim modulates host load in time slots; the attacker
+  decodes bits from its own event timings.
+- :mod:`repro.attacks.collab` -- Sec. IX's collaborating attackers:
+  a second attacker VM loads one replica host to marginalise it from
+  the median.
+"""
+
+from repro.attacks.clocks import ClockObserver, ClockSample
+from repro.attacks.sidechannel import (
+    CoresidenceResult,
+    run_coresidence_experiment,
+    observations_needed_from_samples,
+)
+from repro.attacks.covert import CovertChannelResult, run_covert_channel
+from repro.attacks.collab import CollabResult, run_collab_experiment
+
+__all__ = [
+    "ClockObserver",
+    "ClockSample",
+    "CoresidenceResult",
+    "run_coresidence_experiment",
+    "observations_needed_from_samples",
+    "CovertChannelResult",
+    "run_covert_channel",
+    "CollabResult",
+    "run_collab_experiment",
+]

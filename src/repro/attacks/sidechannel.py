@@ -1,0 +1,164 @@
+"""The coresidence-detection side channel (Fig. 4).
+
+Setup: the attacker VM receives a steady ping stream from a colluding
+external client and measures virtual inter-packet delivery times (its
+IO clock read against its RT clock).  A victim VM continuously serves
+file downloads; in the *coresident* condition one attacker replica
+shares a machine with one victim replica; in the *control* condition
+the victim is absent (or hosted elsewhere).  The attacker then asks:
+can I distinguish the two timing distributions, and with how many
+observations?
+
+Under unmodified Xen the attacker and victim share a machine directly
+and the victim's dom0/cache activity shifts the attacker's measurements
+visibly.  Under StopWatch the attacker sees only the median of three
+replicas' timings, at most one of which is perturbed.
+"""
+
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.clocks import ClockObserver
+from repro.cloud.fabric import Cloud
+from repro.core.config import StopWatchConfig, DEFAULT, PASSTHROUGH
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Trace
+from repro.stats.detection import observations_to_detect
+from repro.stats.distributions import Empirical
+from repro.workloads.echo import PingClient
+from repro.workloads.fileserver import FileServer, HttpDownloader
+
+
+def observations_needed_from_samples(
+        null_samples: Sequence[float], alt_samples: Sequence[float],
+        confidences: Sequence[float], bins: int = 10,
+        power: float = 0.5) -> List[Tuple[float, int]]:
+    """Fig. 4(b): observation counts from two empirical sample sets.
+
+    Bins are the null distribution's equiprobable quantiles; cell
+    probabilities for both conditions come from the samples.
+    """
+    null_dist = Empirical(null_samples)
+    edges = [null_dist.quantile(i / bins) for i in range(1, bins)]
+    edge_arr = np.array(edges)
+
+    def cell_probs(samples: Sequence[float]) -> np.ndarray:
+        counts = np.bincount(np.searchsorted(edge_arr, np.array(samples)),
+                             minlength=bins)[:bins]
+        return counts / len(samples)
+
+    p = cell_probs(null_samples)
+    q = cell_probs(alt_samples)
+    return [(c, observations_to_detect(p, q, c, power=power))
+            for c in confidences]
+
+
+class CoresidenceResult(NamedTuple):
+    """Both conditions' samples plus the detection curve."""
+
+    mediated: bool
+    samples_victim: List[float]      # inter-arrival virts, victim present
+    samples_control: List[float]     # inter-arrival virts, no victim
+    divergences: int
+
+    def detection_curve(self, confidences=(0.70, 0.75, 0.80, 0.85, 0.90,
+                                           0.95, 0.99),
+                        bins: int = 10) -> List[Tuple[float, int]]:
+        return observations_needed_from_samples(
+            self.samples_control, self.samples_victim, confidences,
+            bins=bins)
+
+
+def _build_attack_cloud(config: StopWatchConfig, seed: int,
+                        with_victim: bool, ping_mean: float,
+                        victim_file_bytes: int,
+                        victim_clients: int,
+                        host_kwargs: Optional[dict]):
+    """One condition's cloud: attacker VM + optional coresident victim."""
+    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    machines = 5 if config.replicas > 1 else 1
+    cloud = Cloud(sim, machines=machines, config=config,
+                  host_kwargs=host_kwargs)
+
+    if config.replicas > 1:
+        attacker_hosts = [0, 1, 2]
+        victim_hosts = [0, 3, 4]     # shares exactly host 0 with attacker
+        # (host 0 carries attacker replica 0 -- the "leader" in the
+        # aggregation ablation -- so leader-dictated timing demonstrably
+        # copies the victim's perturbation)
+    else:
+        attacker_hosts = [0]
+        victim_hosts = [0]           # direct coresidence (baseline)
+
+    attacker_holder = []
+    cloud.create_vm("attacker",
+                    lambda guest: _remember(attacker_holder,
+                                            ClockObserver(guest)),
+                    hosts=attacker_hosts)
+    pinger_node = cloud.add_client("pinger:1")
+    pinger = PingClient(pinger_node, "vm:attacker", mean_interval=ping_mean)
+
+    downloaders = []
+    if with_victim:
+        cloud.create_vm("victim", FileServer, hosts=victim_hosts)
+        for index in range(victim_clients):
+            node = cloud.add_client(f"victim-client:{index}")
+            downloader = HttpDownloader(node, "vm:victim")
+            downloaders.append(downloader)
+
+    return sim, cloud, attacker_holder, pinger, downloaders
+
+
+def _remember(holder: list, workload):
+    holder.append(workload)
+    return workload
+
+
+def _keep_downloading(sim, downloader, size: int) -> None:
+    """Loop downloads back-to-back for the whole run."""
+
+    def again(_latency=None):
+        downloader.download(size, on_done=again)
+
+    again()
+
+
+def run_coresidence_experiment(
+        mediated: bool = True,
+        duration: float = 40.0,
+        seed: int = 7,
+        ping_mean: float = 0.020,
+        victim_file_bytes: int = 300_000,
+        victim_clients: int = 3,
+        config: Optional[StopWatchConfig] = None,
+        host_kwargs: Optional[dict] = None) -> CoresidenceResult:
+    """Run both conditions and return the attacker's sample sets."""
+    if config is None:
+        config = DEFAULT if mediated else PASSTHROUGH
+    if host_kwargs is None:
+        host_kwargs = {"contention_alpha": 0.5}
+
+    samples = {}
+    divergences = 0
+    for with_victim in (False, True):
+        sim, cloud, holder, pinger, downloaders = _build_attack_cloud(
+            config, seed, with_victim, ping_mean, victim_file_bytes,
+            victim_clients, host_kwargs)
+        sim.call_after(0.1, pinger.start)
+        for downloader in downloaders:
+            sim.call_after(0.05, _keep_downloading, sim, downloader,
+                           victim_file_bytes)
+        cloud.run(until=duration)
+        attacker = holder[0]   # all replicas record identical virts;
+        # use the first replica's observations
+        samples[with_victim] = attacker.inter_arrival_virts()
+        if with_victim:
+            divergences = int(
+                cloud.vms["attacker"].stat_sum("divergences"))
+    return CoresidenceResult(
+        mediated=mediated,
+        samples_victim=samples[True],
+        samples_control=samples[False],
+        divergences=divergences,
+    )

@@ -1,0 +1,205 @@
+"""Command-line interface: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro fig1  [--victim-rate 0.5]
+    python -m repro fig4  [--duration 30]
+    python -m repro fig5  [--sizes 1000,100000,1000000]
+    python -m repro fig6  [--rates 25,100,400]
+    python -m repro fig7  [--kernels ferret,dedup] [--scale 1.0]
+    python -m repro fig8  [--victim-rate 0.5]
+    python -m repro placement
+    python -m repro offsets
+    python -m repro covert
+    python -m repro collab
+    python -m repro list
+"""
+
+import argparse
+import sys
+from typing import List
+
+
+def _ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def cmd_fig1(args) -> None:
+    from repro.analysis import fig1_observation_curves, format_table
+    rows = fig1_observation_curves(victim_rate=args.victim_rate)
+    print(f"Fig. 1: observations to detect victim "
+          f"(lambda'={args.victim_rate})")
+    print(format_table(["confidence", "w/o StopWatch", "w/ StopWatch"],
+                       rows))
+
+
+def cmd_fig4(args) -> None:
+    from repro.analysis import fig4_empirical_detection, format_table
+    result = fig4_empirical_detection(duration=args.duration)
+    rows = [(c, base_n, sw_n)
+            for (c, base_n), (_, sw_n)
+            in zip(result["curve_baseline"], result["curve_stopwatch"])]
+    print("Fig. 4: empirical coresidence detection")
+    print(format_table(["confidence", "w/o StopWatch", "w/ StopWatch"],
+                       rows))
+
+
+def cmd_fig5(args) -> None:
+    from repro.analysis import fig5_file_download, format_table
+    rows = fig5_file_download(sizes=_ints(args.sizes))
+    rendered = [(s, hb * 1000, hs * 1000, hs / hb, ub * 1000, us * 1000,
+                 us / ub) for s, hb, hs, ub, us in rows]
+    print("Fig. 5: file-retrieval latency (ms)")
+    print(format_table(["size B", "HTTP base", "HTTP SW", "ratio",
+                        "UDP base", "UDP SW", "ratio"], rendered))
+
+
+def cmd_fig6(args) -> None:
+    from repro.analysis import fig6_nfs, format_table
+    rows = fig6_nfs(rates=_ints(args.rates), duration=args.duration)
+    rendered = [(r, b * 1000, s * 1000, s / b, c2s, s2c)
+                for r, b, s, c2s, s2c, _ in rows]
+    print("Fig. 6: NFS / nhfsstone")
+    print(format_table(["ops/s", "base ms/op", "SW ms/op", "ratio",
+                        "c->s pkts/op", "s->c pkts/op"], rendered))
+
+
+def cmd_fig7(args) -> None:
+    from repro.analysis import fig7_parsec, format_table
+    kernels = args.kernels.split(",") if args.kernels else None
+    rows = fig7_parsec(kernels=kernels, scale=args.scale)
+    rendered = [(n, b * 1000, s * 1000, s / b, i, pb * 1000, ps * 1000, pi)
+                for n, b, s, i, pb, ps, pi in rows]
+    print("Fig. 7: PARSEC kernels")
+    print(format_table(["kernel", "base ms", "SW ms", "ratio", "ints",
+                        "paper base", "paper SW", "paper ints"], rendered))
+
+
+def cmd_fig8(args) -> None:
+    from repro.analysis import fig8_noise_comparison, format_table
+    result = fig8_noise_comparison(victim_rate=args.victim_rate)
+    rows = [(r.confidence, r.observations, r.noise_bound,
+             r.stopwatch_delay_baseline, r.noise_delay_baseline)
+            for r in result["table"]]
+    print(f"Fig. 8: StopWatch vs uniform noise (lambda'="
+          f"{args.victim_rate})")
+    print(format_table(["confidence", "obs", "noise b", "E[SW delay]",
+                        "E[noise delay]"], rows))
+    curve = [(p.target_observations, p.noise_bound, p.noise_delay,
+              p.stopwatch_delay) for p in result["curve"]]
+    print("\nProtection-cost scaling:")
+    print(format_table(["target obs", "noise b", "noise delay",
+                        "SW delay"], curve))
+
+
+def cmd_placement(args) -> None:
+    from repro.analysis import format_table, placement_utilization
+    rows = placement_utilization()
+    print("Sec. VIII: placement utilisation")
+    print(format_table(["machines", "capacity", "StopWatch VMs",
+                        "isolation", "Thm1 bound", "c*n/3"], rows))
+
+
+def cmd_offsets(args) -> None:
+    from repro.analysis import (delta_offset_translation, format_table,
+                                summarize)
+    result = delta_offset_translation(duration=args.duration)
+    net = summarize([d * 1000 for d in result["net_delays"]])
+    disk = summarize([d * 1000 for d in result["disk_delays"]])
+    print("Sec. VII-A: real-time translation of the virtual offsets")
+    print(format_table(
+        ["offset", "events", "mean ms", "min ms", "max ms"],
+        [("delta_n", net["count"], net["mean"], net["min"], net["max"]),
+         ("delta_d", disk["count"], disk["mean"], disk["min"],
+          disk["max"])]))
+
+
+def cmd_covert(args) -> None:
+    from repro.attacks import run_covert_channel
+    for mediated in (False, True):
+        result = run_covert_channel(mediated=mediated, n_bits=args.bits)
+        label = "StopWatch" if mediated else "unmodified Xen"
+        print(f"{label}: BER = {result.bit_error_rate:.2f}")
+
+
+def cmd_collab(args) -> None:
+    from repro.analysis import format_table
+    from repro.attacks import run_collab_experiment
+    rows = []
+    for replicas, collab in ((3, False), (3, True), (5, True)):
+        result = run_collab_experiment(replicas=replicas,
+                                       collaborator=collab,
+                                       duration=args.duration)
+        rows.append((f"{replicas} replicas, "
+                     f"{'with' if collab else 'no'} collaborator",
+                     result.observations_needed()))
+    print("Sec. IX: collaborating attackers")
+    print(format_table(["condition", "obs to detect @95%"], rows))
+
+
+def cmd_list(args) -> None:
+    print("Available experiments: fig1 fig4 fig5 fig6 fig7 fig8 "
+          "placement offsets covert collab")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from the StopWatch paper "
+                    "(Li/Gao/Reiter, DSN 2013) on the simulator.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="analytic median justification")
+    p.add_argument("--victim-rate", type=float, default=0.5)
+    p.set_defaults(fn=cmd_fig1)
+
+    p = sub.add_parser("fig4", help="empirical coresidence detection")
+    p.add_argument("--duration", type=float, default=30.0)
+    p.set_defaults(fn=cmd_fig4)
+
+    p = sub.add_parser("fig5", help="file-download latency")
+    p.add_argument("--sizes", default="1000,10000,100000,1000000")
+    p.set_defaults(fn=cmd_fig5)
+
+    p = sub.add_parser("fig6", help="NFS under nhfsstone")
+    p.add_argument("--rates", default="25,50,100,200,400")
+    p.add_argument("--duration", type=float, default=8.0)
+    p.set_defaults(fn=cmd_fig6)
+
+    p = sub.add_parser("fig7", help="PARSEC kernels")
+    p.add_argument("--kernels", default=None)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(fn=cmd_fig7)
+
+    p = sub.add_parser("fig8", help="StopWatch vs uniform noise")
+    p.add_argument("--victim-rate", type=float, default=0.5)
+    p.set_defaults(fn=cmd_fig8)
+
+    p = sub.add_parser("placement", help="Sec. VIII utilisation")
+    p.set_defaults(fn=cmd_placement)
+
+    p = sub.add_parser("offsets", help="delta_n/delta_d translation")
+    p.add_argument("--duration", type=float, default=10.0)
+    p.set_defaults(fn=cmd_offsets)
+
+    p = sub.add_parser("covert", help="covert-channel BER")
+    p.add_argument("--bits", type=int, default=24)
+    p.set_defaults(fn=cmd_covert)
+
+    p = sub.add_parser("collab", help="Sec. IX collaborating attackers")
+    p.add_argument("--duration", type=float, default=15.0)
+    p.set_defaults(fn=cmd_collab)
+
+    p = sub.add_parser("list", help="list experiments")
+    p.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The cloud fabric: ingress/egress nodes and cluster wiring.
+
+:class:`Cloud` assembles a complete StopWatch deployment -- machines,
+ingress (inbound packet replication, Sec. V), egress (median-timed
+output release, Sec. VI), replica VMMs with their coordination groups,
+guest workloads, and external clients -- or, with
+``config=PASSTHROUGH``-style settings, an unmodified-Xen baseline on
+the same substrate.
+"""
+
+from repro.cloud.ingress import IngressNode
+from repro.cloud.egress import EgressNode
+from repro.cloud.fabric import Cloud, ClientPort
+
+__all__ = ["IngressNode", "EgressNode", "Cloud", "ClientPort"]

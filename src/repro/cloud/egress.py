@@ -1,0 +1,59 @@
+"""The egress node (Sec. VI).
+
+Replicas run deterministically, so they emit identical output-packet
+sequences.  Each replica's dom0 tunnels outputs to the egress node,
+which forwards a packet toward its real destination when the *second*
+copy arrives -- the second arrival time of three is exactly the median
+of the replicas' emission times, so an external observer only ever sees
+median timing.
+"""
+
+from typing import Dict, Tuple
+
+from repro.core.median import QuorumRelease
+from repro.net.network import Network, RealtimeNode
+from repro.net.packet import Packet, ReplicaEnvelope
+
+
+class EgressNode:
+    """Release-on-median-copy forwarding of guest output."""
+
+    def __init__(self, sim, network: Network, address: str = "egress"):
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.node = RealtimeNode(sim, network, address)
+        self.node.register_protocol("replica-out", self._on_replica_packet)
+        self._expected: Dict[str, int] = {}
+        self._releases: Dict[Tuple[str, int], QuorumRelease] = {}
+        self.packets_released = 0
+
+    def register_vm(self, vm_name: str, replicas: int) -> None:
+        if vm_name in self._expected:
+            raise ValueError(f"VM {vm_name!r} already registered at egress")
+        self._expected[vm_name] = replicas
+
+    def _on_replica_packet(self, packet: Packet) -> None:
+        envelope: ReplicaEnvelope = packet.payload
+        expected = self._expected.get(envelope.vm)
+        if expected is None:
+            return  # unknown VM; drop
+        key = (envelope.vm, envelope.seq)
+        release = self._releases.get(key)
+        if release is None:
+            release = QuorumRelease(key, expected=expected)
+            self._releases[key] = release
+        if release.arrive(envelope.replica_id, self.sim.now):
+            self.packets_released += 1
+            self.sim.trace.record(self.sim.now, "egress.release",
+                                  vm=envelope.vm, seq=envelope.seq)
+            self.network.send(envelope.inner)
+        if release.complete:
+            del self._releases[key]
+
+    @property
+    def pending_releases(self) -> int:
+        return len(self._releases)
+
+    def __repr__(self) -> str:
+        return f"<EgressNode {self.address} vms={len(self._expected)}>"

@@ -1,0 +1,251 @@
+"""Cluster assembly: the :class:`Cloud` builder.
+
+Typical usage::
+
+    sim = Simulator(seed=1)
+    cloud = Cloud(sim, machines=3, config=DEFAULT)
+    vm = cloud.create_vm("web", lambda guest: FileServer(guest))
+    client = cloud.add_client("client:1")
+    cloud.start()
+    sim.run(until=30.0)
+
+With ``config.mediate`` the fabric builds the full StopWatch pipeline
+(ingress replication, per-VM coordination groups, egress); without it,
+it wires the unmodified-Xen baseline: client traffic goes straight to
+the single replica's dom0, and guest output leaves directly.
+"""
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cloud.egress import EgressNode
+from repro.cloud.ingress import IngressNode
+from repro.core.config import StopWatchConfig, DEFAULT
+from repro.machine.host import Host
+from repro.net.link import Link
+from repro.net.network import Network, RealtimeNode
+from repro.net.pgm import PgmReceiver
+from repro.sim.rng import _derive_seed
+from repro.vmm.coordination import ReplicaCoordination
+from repro.vmm.hypervisor import ReplicaVMM
+
+
+@dataclass
+class ReplicatedVM:
+    """Book-keeping for one guest VM deployment."""
+
+    name: str
+    hosts: List[int]
+    vmms: List[ReplicaVMM]
+    workloads: List[object] = field(default_factory=list)
+
+    @property
+    def address(self) -> str:
+        return f"vm:{self.name}"
+
+    def stat_sum(self, key: str) -> float:
+        return sum(vmm.stats[key] for vmm in self.vmms)
+
+    def stat_max(self, key: str) -> float:
+        return max(vmm.stats[key] for vmm in self.vmms)
+
+
+class ClientPort:
+    """An external client machine: a RealtimeNode plus its WAN links."""
+
+    def __init__(self, sim, network: Network, name: str,
+                 latency: float, bandwidth: float, jitter: float):
+        self.node = RealtimeNode(sim, network, name)
+        self.name = name
+        self.uplink = Link(sim, latency=latency, bandwidth=bandwidth,
+                           jitter=jitter, name=f"wan.up.{name}")
+        self.downlink = Link(sim, latency=latency, bandwidth=bandwidth,
+                             jitter=jitter, name=f"wan.down.{name}")
+        network.add_route(None, name, self.downlink)
+
+    # Forward the NetHost interface so protocol stacks bind directly.
+    def __getattr__(self, item):
+        return getattr(self.node, item)
+
+
+class Cloud:
+    """A StopWatch (or baseline) cloud on ``machines`` physical hosts."""
+
+    def __init__(self, sim, machines: int = 3,
+                 config: StopWatchConfig = DEFAULT,
+                 internal_bandwidth: float = 1e9,
+                 host_kwargs: Optional[dict] = None):
+        if machines < config.replicas:
+            raise ValueError(
+                f"{config.replicas} replicas need at least that many "
+                f"machines, got {machines}"
+            )
+        self.sim = sim
+        self.config = config
+        self.network = Network(sim, default_link_kwargs={
+            "latency": config.internal_latency,
+            "jitter": config.internal_latency * config.internal_jitter,
+            "bandwidth": internal_bandwidth,
+        })
+        self.hosts: List[Host] = [
+            Host(sim, i, self.network, **(host_kwargs or {}))
+            for i in range(machines)
+        ]
+        self.ingress = IngressNode(sim, self.network)
+        self.egress = EgressNode(sim, self.network)
+        self.vms: Dict[str, ReplicatedVM] = {}
+        self.clients: Dict[str, ClientPort] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # guests
+    # ------------------------------------------------------------------
+    def create_vm(self, name: str,
+                  workload_factory: Optional[Callable] = None,
+                  hosts: Optional[Sequence[int]] = None) -> ReplicatedVM:
+        """Deploy a guest VM (replicated per the config).
+
+        ``workload_factory(guest_os)`` is called once per replica and must
+        return an object with a ``start()`` method; all replicas get RNGs
+        seeded identically, so the workload runs identically everywhere.
+        """
+        if name in self.vms:
+            raise ValueError(f"VM {name!r} already exists")
+        replica_count = self.config.replicas
+        if hosts is None:
+            hosts = list(range(replica_count))
+        hosts = list(hosts)
+        if len(hosts) != replica_count:
+            raise ValueError(
+                f"need exactly {replica_count} host ids, got {hosts}"
+            )
+
+        workload_seed = _derive_seed(self.sim.rng.root_seed,
+                                     f"workload.{name}")
+        vmms: List[ReplicaVMM] = []
+        for replica_id, host_id in enumerate(hosts):
+            vmm = ReplicaVMM(
+                self.sim, self.hosts[host_id], name, replica_id,
+                self.config, workload_rng=_random.Random(workload_seed))
+            vmms.append(vmm)
+
+        vm = ReplicatedVM(name=name, hosts=hosts, vmms=vmms)
+        self.vms[name] = vm
+
+        if self.config.mediate and replica_count > 1:
+            self._wire_mediated(vm)
+        else:
+            self._wire_baseline(vm)
+
+        if self.config.egress_enabled:
+            self.egress.register_vm(name, replica_count)
+
+        if workload_factory is not None:
+            for vmm in vmms:
+                workload = workload_factory(vmm.guest)
+                vm.workloads.append(workload)
+                vmm.guest.schedule_at_instr(0, workload.start)
+
+        # clients added before this VM need routes to it
+        for client in self.clients.values():
+            self.network.add_route(client.name, vm.address, client.uplink)
+        return vm
+
+    def _wire_mediated(self, vm: ReplicatedVM) -> None:
+        host_addresses = [self.hosts[h].address for h in vm.hosts]
+        self.ingress.register_vm(vm.name, host_addresses)
+        lead_boundaries = max(1, int(
+            self.config.max_lead_virtual
+            / (self.config.pacing_interval_branches
+               * self.config.initial_slope)))
+        for replica_id, host_id in enumerate(vm.hosts):
+            host = self.hosts[host_id]
+            vmm = vm.vmms[replica_id]
+            siblings = {
+                rid: self.hosts[h].address
+                for rid, h in enumerate(vm.hosts) if rid != replica_id
+            }
+            vmm.coordination = ReplicaCoordination(
+                self.sim, vmm, host, siblings, lead_boundaries)
+            receiver = PgmReceiver(host.node, f"ingress.{vm.name}")
+            receiver.subscribe(
+                self.ingress.address,
+                lambda envelope, seq, h=host, v=vmm:
+                h.dom0.submit(self.config.dom0_packet_cost,
+                              v.observe_inbound, envelope.seq,
+                              envelope.inner))
+
+    def _wire_baseline(self, vm: ReplicatedVM) -> None:
+        host = self.hosts[vm.hosts[0]]
+        vmm = vm.vmms[0]
+        self.network.attach(
+            vm.address,
+            lambda packet, h=host, v=vmm:
+            h.dom0.submit(self.config.dom0_packet_cost,
+                          v.observe_inbound, None, packet))
+
+    # ------------------------------------------------------------------
+    # clients
+    # ------------------------------------------------------------------
+    def add_client(self, name: str, latency: float = 0.002,
+                   bandwidth: float = 100e6,
+                   jitter: float = 0.0002) -> ClientPort:
+        """Attach an external client machine over a WAN path."""
+        if name in self.clients:
+            raise ValueError(f"client {name!r} already exists")
+        client = ClientPort(self.sim, self.network, name,
+                            latency, bandwidth, jitter)
+        self.clients[name] = client
+        for vm in self.vms.values():
+            self.network.add_route(name, vm.address, client.uplink)
+        return client
+
+    # ------------------------------------------------------------------
+    # background traffic (Sec. VII-B: the testbed's /24 subnet broadcast
+    # noise, ~50-100 packets/s, was present throughout all experiments)
+    # ------------------------------------------------------------------
+    def add_background_broadcast(self, rate: float = 75.0,
+                                 size: int = 60) -> None:
+        """Replicate ARP-style broadcast chatter to every VM.
+
+        Each broadcast goes through the full mediation pipeline (ingress
+        sequence numbers, proposals, median delivery) even though guests
+        drop it -- exactly the background load the paper reports.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        from repro.net.packet import Packet
+
+        rng = self.sim.rng.stream("background.broadcast")
+
+        def emit():
+            for vm in self.vms.values():
+                self.network.send(Packet(
+                    src="broadcast:0", dst=vm.address, protocol="arp",
+                    payload=None, size=size))
+            self.sim.call_after(rng.expovariate(rate), emit)
+
+        self.sim.call_after(rng.expovariate(rate), emit)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot every replica VMM."""
+        if self._started:
+            return
+        self._started = True
+        for vm in self.vms.values():
+            for vmm in vm.vmms:
+                vmm.start()
+
+    def stop(self) -> None:
+        for vm in self.vms.values():
+            for vmm in vm.vmms:
+                vmm.stop()
+
+    def run(self, until: float) -> None:
+        """Convenience: start (if needed) and run the simulation."""
+        self.start()
+        self.sim.run(until=until)

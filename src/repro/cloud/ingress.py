@@ -1,0 +1,52 @@
+"""The ingress node (Sec. V).
+
+Every packet destined for a guest VM is routed to an ingress node,
+which stamps it with a per-VM sequence number and replicates it via PGM
+multicast to all machines hosting that VM's replicas.  (A real cloud
+would run several ingress nodes; one suffices here and the abstraction
+allows many.)
+"""
+
+from typing import Dict, List
+
+from repro.net.network import Network, RealtimeNode
+from repro.net.packet import Packet, ReplicaEnvelope
+from repro.net.pgm import PgmSender
+
+
+class IngressNode:
+    """Replicates inbound guest traffic to the replica hosts."""
+
+    def __init__(self, sim, network: Network, address: str = "ingress"):
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.node = RealtimeNode(sim, network, address)
+        self._senders: Dict[str, PgmSender] = {}
+        self._sequences: Dict[str, int] = {}
+        self.packets_replicated = 0
+
+    def register_vm(self, vm_name: str, host_addresses: List[str]) -> None:
+        """Start replicating traffic for ``vm:<vm_name>`` to the hosts."""
+        if vm_name in self._senders:
+            raise ValueError(f"VM {vm_name!r} already registered at ingress")
+        self._senders[vm_name] = PgmSender(
+            self.node, f"ingress.{vm_name}", list(host_addresses))
+        self._sequences[vm_name] = 0
+        self.network.attach(f"vm:{vm_name}",
+                            lambda packet, name=vm_name:
+                            self._on_guest_packet(name, packet))
+
+    def _on_guest_packet(self, vm_name: str, packet: Packet) -> None:
+        seq = self._sequences[vm_name]
+        self._sequences[vm_name] = seq + 1
+        envelope = ReplicaEnvelope(vm=vm_name, direction="in", seq=seq,
+                                   inner=packet)
+        self.packets_replicated += 1
+        self.sim.trace.record(self.sim.now, "ingress.replicate",
+                              vm=vm_name, seq=seq)
+        self._senders[vm_name].multicast(envelope,
+                                         data_len=envelope.wire_size())
+
+    def __repr__(self) -> str:
+        return f"<IngressNode {self.address} vms={len(self._senders)}>"

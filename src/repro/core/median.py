@@ -1,0 +1,165 @@
+"""Median timing aggregation (Sec. III, V, VI).
+
+The crux of StopWatch: the timing of every externally-influenced event is
+the **median** of the timings proposed by (or observed at) the three
+replicas.  Because at most one replica coresides with any given victim,
+the median is either a timing from a victim-free replica or lies between
+two victim-free timings -- the victim's influence is "microaggregated"
+away.
+
+:class:`MedianAgreement` implements the proposal-collection half of the
+protocol (used by the VMMs for network-interrupt delivery times);
+:class:`QuorumRelease` implements the egress node's release-on-second-copy
+rule, which realises the median of output timings without clock access.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import ProtocolError
+
+
+def median(values: List[float]) -> float:
+    """Median of a non-empty list.
+
+    For odd lengths this is the middle order statistic.  For even lengths
+    we return the *lower* middle element rather than an average: StopWatch
+    medians must always be a timing that some replica actually proposed.
+    """
+    if not values:
+        raise ProtocolError("median of empty list")
+    ordered = sorted(values)
+    mid = (len(ordered) - 1) // 2
+    return ordered[mid]
+
+
+def median_of_three(a: float, b: float, c: float) -> float:
+    """Branch-free median of exactly three values."""
+    return max(min(a, b), min(max(a, b), c))
+
+
+#: timing aggregation functions available for the ablation study.
+#: "median" is StopWatch; "leader" (first replica dictates) is the
+#: Sec. II strawman that simply copies a coresident replica's leakage;
+#: "min"/"max"/"mean" are the other natural choices.
+AGGREGATIONS = ("median", "mean", "min", "max", "leader")
+
+
+def aggregate(proposals: Dict[int, float], how: str = "median") -> float:
+    """Combine per-replica timing proposals into one decision."""
+    if not proposals:
+        raise ProtocolError("aggregate of zero proposals")
+    values = list(proposals.values())
+    if how == "median":
+        return median(values)
+    if how == "mean":
+        return sum(values) / len(values)
+    if how == "min":
+        return min(values)
+    if how == "max":
+        return max(values)
+    if how == "leader":
+        leader = min(proposals)
+        return proposals[leader]
+    raise ProtocolError(f"unknown aggregation {how!r}")
+
+
+def kth_smallest(values: List[float], k: int) -> float:
+    """1-indexed k-th order statistic (k=2, m=3 is the StopWatch median)."""
+    if not 1 <= k <= len(values):
+        raise ProtocolError(f"order statistic {k} out of range for "
+                            f"{len(values)} values")
+    return sorted(values)[k - 1]
+
+
+class MedianAgreement:
+    """Collects per-replica timing proposals for one event.
+
+    A VMM creates one instance per inbound network packet (keyed by the
+    packet's ingress sequence number); each replica's proposal arrives via
+    :meth:`propose`; once ``expected`` proposals are in, :meth:`decided`
+    flips and :meth:`decision` returns the median proposal.
+    """
+
+    def __init__(self, event_key, expected: int = 3):
+        if expected < 1:
+            raise ProtocolError(f"expected replica count must be >= 1, "
+                                f"got {expected}")
+        self.event_key = event_key
+        self.expected = expected
+        self.proposals: Dict[int, float] = {}
+
+    def propose(self, replica_id: int, proposed_time: float) -> None:
+        if replica_id in self.proposals:
+            raise ProtocolError(
+                f"duplicate proposal from replica {replica_id} for event "
+                f"{self.event_key!r}"
+            )
+        if len(self.proposals) >= self.expected:
+            raise ProtocolError(
+                f"proposal from replica {replica_id} after agreement for "
+                f"event {self.event_key!r} was complete"
+            )
+        self.proposals[replica_id] = proposed_time
+
+    @property
+    def decided(self) -> bool:
+        return len(self.proposals) == self.expected
+
+    def decision(self, how: str = "median") -> float:
+        if not self.decided:
+            raise ProtocolError(
+                f"decision requested for {self.event_key!r} with only "
+                f"{len(self.proposals)}/{self.expected} proposals"
+            )
+        return aggregate(self.proposals, how)
+
+    def __repr__(self) -> str:
+        return (f"<MedianAgreement {self.event_key!r} "
+                f"{len(self.proposals)}/{self.expected}>")
+
+
+class QuorumRelease:
+    """Egress release rule (Sec. VI): release on the q-th copy.
+
+    With ``expected`` replicas and ``quorum`` = (expected+1)//2 + ... --
+    concretely, for three replicas the egress forwards an output packet
+    when its **second** copy arrives; the second arrival time is exactly
+    the median of the three replicas' emission times.
+    """
+
+    def __init__(self, event_key, expected: int = 3,
+                 quorum: Optional[int] = None):
+        if expected < 1:
+            raise ProtocolError("expected must be >= 1")
+        self.event_key = event_key
+        self.expected = expected
+        # The (expected+1)//2-th arrival is the median-order arrival for
+        # odd replica counts: 2nd of 3, 3rd of 5.
+        self.quorum = quorum if quorum is not None else (expected + 1) // 2
+        if not 1 <= self.quorum <= self.expected:
+            raise ProtocolError(f"quorum {self.quorum} out of range")
+        self.arrivals: Dict[int, float] = {}
+        self.released_at: Optional[float] = None
+
+    def arrive(self, replica_id: int, time: float) -> bool:
+        """Record one replica's copy; return True exactly once, when this
+        arrival completes the quorum (i.e. the packet should be forwarded
+        now)."""
+        if replica_id in self.arrivals:
+            raise ProtocolError(
+                f"duplicate copy from replica {replica_id} for event "
+                f"{self.event_key!r}"
+            )
+        self.arrivals[replica_id] = time
+        if self.released_at is None and len(self.arrivals) == self.quorum:
+            self.released_at = time
+            return True
+        return False
+
+    @property
+    def complete(self) -> bool:
+        return len(self.arrivals) == self.expected
+
+    def __repr__(self) -> str:
+        return (f"<QuorumRelease {self.event_key!r} "
+                f"{len(self.arrivals)}/{self.expected} q={self.quorum}>")

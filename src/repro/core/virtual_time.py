@@ -1,0 +1,151 @@
+"""Virtual time (Sec. IV-A of the paper).
+
+A guest VM under StopWatch never sees real time.  Instead it sees::
+
+    virt(instr) = slope * instr + start                       (Eqn. 1)
+
+where ``instr`` is the count of branches the guest has executed.  ``start``
+is initialised to the median of the replica hosts' real clocks at boot;
+``slope`` to a constant determined by the machines' tick rate.
+
+Optionally, after each *epoch* of ``I`` instructions the VMMs exchange
+``(D_k, R_k)`` -- the real duration of the epoch and the real time at its
+end -- select the median real time ``R*_k`` together with the duration
+``D*_k`` from that same machine, and reset::
+
+    start_{k+1} = virt_k(I)
+    slope_{k+1} = clamp((R*_k - virt_k(I) + D*_k) / I, [l, u])
+
+so that virtual time coarsely tracks the median machine's real time.
+"""
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.core.errors import ConfigError
+from repro.core.median import median
+
+
+class EpochSample(NamedTuple):
+    """One replica's contribution to an epoch resynchronisation exchange.
+
+    ``duration`` is D_k (real seconds the replica spent executing the
+    epoch's I instructions); ``real_time`` is R_k (the replica host's real
+    clock at the end of the epoch).
+    """
+
+    replica_id: int
+    duration: float
+    real_time: float
+
+
+def resync_slope(samples: List[EpochSample], virt_at_epoch_end: float,
+                 epoch_instructions: int,
+                 slope_range: Tuple[float, float]) -> float:
+    """Compute ``slope_{k+1}`` from the replicas' epoch samples.
+
+    Selects the median ``R*_k`` over the samples' real times, takes the
+    duration ``D*_k`` reported by that same machine, and returns::
+
+        clamp((R*_k - virt_k(I) + D*_k) / I, slope_range)
+    """
+    if not samples:
+        raise ConfigError("epoch resync requires at least one sample")
+    lower, upper = slope_range
+    if lower > upper:
+        raise ConfigError(f"empty slope range [{lower}, {upper}]")
+    ordered = sorted(samples, key=lambda s: s.real_time)
+    median_sample = ordered[(len(ordered) - 1) // 2] if len(ordered) % 2 == 1 \
+        else ordered[len(ordered) // 2 - 1]
+    # For odd replica counts (the normal case, m = 3) this is the true
+    # median; for even counts we take the lower-middle deterministically.
+    raw = (median_sample.real_time - virt_at_epoch_end
+           + median_sample.duration) / epoch_instructions
+    return min(max(raw, lower), upper)
+
+
+class VirtualClock:
+    """Piecewise-linear virtual time as a function of the branch count.
+
+    The clock is **pure**: given the same sequence of
+    :meth:`apply_epoch_resync` calls with the same arguments, two replicas'
+    clocks return bit-identical values for every instruction count -- this
+    is what makes guest-visible time deterministic across replicas.
+    """
+
+    def __init__(self, start: float, slope: float,
+                 slope_range: Optional[Tuple[float, float]] = None,
+                 epoch_instructions: Optional[int] = None):
+        if slope <= 0:
+            raise ConfigError(f"slope must be positive, got {slope}")
+        if epoch_instructions is not None and epoch_instructions <= 0:
+            raise ConfigError(
+                f"epoch_instructions must be positive, got {epoch_instructions}"
+            )
+        if slope_range is not None:
+            low, high = slope_range
+            if low <= 0 or low > high:
+                raise ConfigError(f"bad slope range [{low}, {high}]")
+        self.start = start
+        self.slope = slope
+        self.slope_range = slope_range
+        self.epoch_instructions = epoch_instructions
+        #: instruction count at the start of the current linear segment
+        self.segment_base_instr = 0
+        self.epoch_index = 0
+
+    @classmethod
+    def from_host_clocks(cls, host_real_times: List[float], slope: float,
+                         **kwargs) -> "VirtualClock":
+        """Boot-time initialisation: ``start`` = median of the replica
+        hosts' current real times (Sec. IV-A)."""
+        return cls(start=median(host_real_times), slope=slope, **kwargs)
+
+    def time_at(self, instr: int) -> float:
+        """``virt(instr)`` for an instruction count in the current segment."""
+        if instr < self.segment_base_instr:
+            raise ConfigError(
+                f"instruction count {instr} precedes current segment base "
+                f"{self.segment_base_instr}"
+            )
+        return self.start + self.slope * (instr - self.segment_base_instr)
+
+    def instr_at(self, virt: float) -> int:
+        """Inverse map: the smallest instruction count whose virtual time
+        is >= ``virt`` (used to convert delivery deadlines into instruction
+        targets).  Clamps to the current segment base."""
+        if virt <= self.start:
+            return self.segment_base_instr
+        raw = (virt - self.start) / self.slope
+        instr = self.segment_base_instr + int(raw)
+        if self.time_at(instr) < virt:
+            instr += 1
+        return instr
+
+    def next_epoch_boundary(self) -> Optional[int]:
+        """Instruction count at which the next epoch ends (None if epoch
+        resynchronisation is disabled)."""
+        if self.epoch_instructions is None:
+            return None
+        return (self.epoch_index + 1) * self.epoch_instructions
+
+    def apply_epoch_resync(self, samples: List[EpochSample]) -> None:
+        """Apply the Sec. IV-A resynchronisation at the epoch boundary.
+
+        Must be called exactly when the guest reaches the boundary
+        instruction count returned by :meth:`next_epoch_boundary`.
+        """
+        if self.epoch_instructions is None or self.slope_range is None:
+            raise ConfigError("epoch resync requires epoch_instructions and "
+                              "slope_range to be configured")
+        boundary = self.next_epoch_boundary()
+        virt_end = self.time_at(boundary)
+        new_slope = resync_slope(samples, virt_end, self.epoch_instructions,
+                                 self.slope_range)
+        self.start = virt_end
+        self.slope = new_slope
+        self.segment_base_instr = boundary
+        self.epoch_index += 1
+
+    def __repr__(self) -> str:
+        return (f"<VirtualClock start={self.start:.6f} slope={self.slope:.3e} "
+                f"epoch={self.epoch_index}>")

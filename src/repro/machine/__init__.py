@@ -1,0 +1,43 @@
+"""Physical machine and guest VM models.
+
+- :class:`Host` -- one physical machine: a dom0 work queue (the QEMU
+  device-model side), a rotating-disk model, timing noise coupled to
+  coresident activity (the physical side channel StopWatch defends
+  against), and the guests it runs.
+- :class:`GuestOS` -- the deterministic guest runtime.  Guests see only
+  StopWatch virtual time; their workloads are callback-driven programs
+  against the NetHost interface plus ``compute`` and disk I/O, so guest
+  behaviour is a pure function of (injected events, virtual times) --
+  which is exactly the determinism StopWatch enforces.
+"""
+
+from repro.machine.dom0 import Dom0Executor
+from repro.machine.disk import DiskModel
+from repro.machine.host import Host
+from repro.machine.guest import GuestOS, GuestTimer
+from repro.machine.multiproc import (
+    GuestThread,
+    MultiprocessorRuntime,
+    ThreadCrashed,
+)
+from repro.machine.fs import (
+    BLOCK_SIZE,
+    FileSystemError,
+    Inode,
+    SimpleFileSystem,
+)
+
+__all__ = [
+    "Dom0Executor",
+    "DiskModel",
+    "Host",
+    "GuestOS",
+    "GuestTimer",
+    "GuestThread",
+    "MultiprocessorRuntime",
+    "ThreadCrashed",
+    "BLOCK_SIZE",
+    "FileSystemError",
+    "Inode",
+    "SimpleFileSystem",
+]

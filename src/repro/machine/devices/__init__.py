@@ -1,0 +1,24 @@
+"""Virtualised clock devices visible to the guest (paper Sec. IV-B).
+
+Real Xen exposes several time sources that StopWatch must intervene on:
+the TSC (via ``rdtsc``), the CMOS real-time clock, and the PIT's
+count-down counter.  All three are re-derived here from the guest's
+virtual time, so reading them leaks nothing beyond guest progress --
+the attacker-facing property asserted in ``tests/attacks``.
+"""
+
+from repro.machine.devices.clocks import (
+    VirtualTsc,
+    VirtualRtc,
+    VirtualPitCounter,
+    GuestClockPanel,
+    PIT_INPUT_HZ,
+)
+
+__all__ = [
+    "VirtualTsc",
+    "VirtualRtc",
+    "VirtualPitCounter",
+    "GuestClockPanel",
+    "PIT_INPUT_HZ",
+]

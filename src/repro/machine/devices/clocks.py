@@ -1,0 +1,87 @@
+"""Guest-readable clock devices, virtualised onto StopWatch virtual time.
+
+In unmodified Xen these devices are emulated from the host's real-time
+clock; StopWatch replaces that source with the guest's virtual clock
+(Sec. IV-B).  Each device here is a pure function of the virtual time
+it is handed, so two replicas reading at the same instruction count see
+bit-identical values.
+"""
+
+#: the PIT's crystal frequency on PC hardware, Hz
+PIT_INPUT_HZ = 1_193_182.0
+
+
+class VirtualTsc:
+    """The time-stamp counter, as returned by ``rdtsc``.
+
+    Xen computes the value by scaling time-since-guest-reset by a
+    constant factor; StopWatch feeds it virtual time instead of real
+    time.  ``frequency_hz`` models the advertised processor frequency
+    (3 GHz for the paper's Core2 Quad testbed).
+    """
+
+    def __init__(self, frequency_hz: float = 3e9):
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz}")
+        self.frequency_hz = frequency_hz
+
+    def read(self, virt: float) -> int:
+        """``rdtsc``: ticks since guest reset."""
+        return int(virt * self.frequency_hz)
+
+
+class VirtualRtc:
+    """The CMOS real-time clock: time to the nearest second.
+
+    Xen updates the virtual RTC from its real-time clock; StopWatch
+    answers RTC reads from guest virtual time plus the boot epoch (the
+    median of the replica hosts' clocks at VM start, Sec. IV-A).
+    """
+
+    def __init__(self, boot_epoch: float = 0.0):
+        self.boot_epoch = boot_epoch
+
+    def read(self, virt: float) -> int:
+        """Whole seconds since the (virtual) epoch."""
+        return int(self.boot_epoch + virt)
+
+
+class VirtualPitCounter:
+    """The PIT channel-0 count-down counter.
+
+    Hardware counts down from the programmed latch at ~1.193182 MHz and
+    reloads; operating systems read it for sub-tick timing.  The
+    StopWatch version counts down in virtual time.
+    """
+
+    def __init__(self, latch: int = 65536):
+        if not 1 <= latch <= 65536:
+            raise ValueError(f"latch out of range: {latch}")
+        self.latch = latch
+
+    def read(self, virt: float) -> int:
+        """Current counter value in [1, latch]."""
+        ticks = int(virt * PIT_INPUT_HZ)
+        return self.latch - (ticks % self.latch)
+
+
+class GuestClockPanel:
+    """Every clock a guest can read, bundled for the GuestOS.
+
+    The panel is constructed per replica but depends only on
+    configuration (never on the host), preserving replica determinism.
+    """
+
+    def __init__(self, tsc_hz: float = 3e9, rtc_boot_epoch: float = 0.0,
+                 pit_latch: int = 65536):
+        self.tsc = VirtualTsc(tsc_hz)
+        self.rtc = VirtualRtc(rtc_boot_epoch)
+        self.pit_counter = VirtualPitCounter(pit_latch)
+
+    def snapshot(self, virt: float) -> dict:
+        """All clock readings at one instant (used by attack code)."""
+        return {
+            "tsc": self.tsc.read(virt),
+            "rtc": self.rtc.read(virt),
+            "pit_counter": self.pit_counter.read(virt),
+        }

@@ -1,0 +1,59 @@
+"""A rotating-disk service model.
+
+The paper's testbed used 70 GB rotating hard drives; Δd was sized from
+their observed access times (roughly 8-15 ms).  The model: one arm, FIFO
+service, per-request time = seek+rotation draw plus per-block transfer.
+"""
+
+from typing import Callable
+
+
+class DiskModel:
+    """FIFO rotating disk.  Block size is nominally 4 KiB."""
+
+    def __init__(self, sim, rng, name: str = "disk",
+                 seek_min: float = 0.003, seek_max: float = 0.009,
+                 per_block: float = 0.00005,
+                 cache_hit_ratio: float = 0.0,
+                 cache_hit_time: float = 0.0002):
+        if seek_min < 0 or seek_max < seek_min:
+            raise ValueError(f"bad seek range [{seek_min}, {seek_max}]")
+        self.sim = sim
+        self.rng = rng
+        self.name = name
+        self.seek_min = seek_min
+        self.seek_max = seek_max
+        self.per_block = per_block
+        self.cache_hit_ratio = cache_hit_ratio
+        self.cache_hit_time = cache_hit_time
+        self._busy_until = 0.0
+        self.requests = 0
+        self.busy_total = 0.0
+
+    def service_time(self, blocks: int) -> float:
+        """Draw one request's service time."""
+        if blocks < 1:
+            raise ValueError(f"blocks must be >= 1, got {blocks}")
+        if (self.cache_hit_ratio > 0.0
+                and self.rng.random() < self.cache_hit_ratio):
+            return self.cache_hit_time
+        seek = self.rng.uniform(self.seek_min, self.seek_max)
+        return seek + blocks * self.per_block
+
+    def request(self, blocks: int, fn: Callable, *args) -> float:
+        """Enqueue a ``blocks``-sized access; ``fn(*args)`` fires at
+        completion.  Returns the completion time."""
+        service = self.service_time(blocks)
+        start = max(self.sim.now, self._busy_until)
+        finish = start + service
+        self._busy_until = finish
+        self.requests += 1
+        self.busy_total += service
+        self.sim.call_at(finish, fn, *args)
+        return finish
+
+    def queue_delay(self) -> float:
+        return max(0.0, self._busy_until - self.sim.now)
+
+    def __repr__(self) -> str:
+        return f"<DiskModel {self.name} requests={self.requests}>"

@@ -1,0 +1,62 @@
+"""The dom0 device-model work queue.
+
+All device emulation on a Xen host runs in Dom0; its CPU time is shared
+by every guest on the machine.  That sharing is a timing side channel:
+a busy victim's packet and disk handling delays the attacker's own
+device events.  :class:`Dom0Executor` models dom0 as a single FIFO
+service queue and tracks a recent-activity level that the host's
+execution-noise model consumes (cache/bus contention proxy).
+"""
+
+from collections import deque
+from typing import Callable
+
+
+class Dom0Executor:
+    """FIFO work queue with busy-time accounting."""
+
+    def __init__(self, sim, name: str = "dom0",
+                 activity_window: float = 0.100):
+        self.sim = sim
+        self.name = name
+        self.activity_window = activity_window
+        self._busy_until = 0.0
+        self._recent: deque = deque()   # (end_time, duration)
+        self._recent_total = 0.0
+        self.jobs_done = 0
+        self.busy_total = 0.0
+
+    def submit(self, duration: float, fn: Callable, *args) -> float:
+        """Enqueue a job of ``duration`` seconds; ``fn(*args)`` runs at
+        completion.  Returns the completion time."""
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        start = max(self.sim.now, self._busy_until)
+        finish = start + duration
+        self._busy_until = finish
+        self.busy_total += duration
+        self.jobs_done += 1
+        self._recent.append((finish, duration))
+        self._recent_total += duration
+        self.sim.call_at(finish, fn, *args)
+        return finish
+
+    def queue_delay(self) -> float:
+        """Seconds a job submitted now would wait before starting."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    def activity_level(self) -> float:
+        """Fraction of the trailing window dom0 spent busy (clamped to 1).
+
+        This is the contention signal guests on the same host experience.
+        """
+        horizon = self.sim.now - self.activity_window
+        while self._recent and self._recent[0][0] < horizon:
+            _, duration = self._recent.popleft()
+            self._recent_total -= duration
+        level = self._recent_total / self.activity_window
+        return min(1.0, max(0.0, level))
+
+    def __repr__(self) -> str:
+        return (f"<Dom0Executor {self.name} jobs={self.jobs_done} "
+                f"activity={self.activity_level():.3f}>")

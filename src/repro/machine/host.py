@@ -1,0 +1,60 @@
+"""One physical machine of the cloud."""
+
+from typing import Optional
+
+from repro.machine.disk import DiskModel
+from repro.machine.dom0 import Dom0Executor
+from repro.net.network import RealtimeNode
+
+
+class Host:
+    """A physical machine: dom0 + disk + timing-noise model + guests.
+
+    The timing-noise model is the physical substrate of the side channel:
+    a guest's effective execution speed on this host is perturbed by
+
+    - multiplicative log-normal-ish jitter (``jitter_sigma``), and
+    - a contention term proportional to recent dom0 activity
+      (``contention_alpha``) -- a coresident victim's I/O slows the
+      attacker measurably.
+
+    ``address`` is the machine's dom0 endpoint on the cloud-internal
+    network (``host:<id>``).
+    """
+
+    def __init__(self, sim, host_id: int, network,
+                 jitter_sigma: float = 0.01,
+                 contention_alpha: float = 0.25,
+                 disk: Optional[DiskModel] = None,
+                 disk_kwargs: Optional[dict] = None):
+        self.sim = sim
+        self.host_id = host_id
+        self.address = f"host:{host_id}"
+        self.node = RealtimeNode(sim, network, self.address)
+        self.dom0 = Dom0Executor(sim, name=f"dom0.{host_id}")
+        self.disk = disk if disk is not None else DiskModel(
+            sim, sim.rng.stream(f"host.{host_id}.disk"),
+            name=f"disk.{host_id}", **(disk_kwargs or {}))
+        self.jitter_sigma = jitter_sigma
+        self.contention_alpha = contention_alpha
+        self._noise_rng = sim.rng.stream(f"host.{host_id}.noise")
+        self.vmms = []
+
+    def slowdown_factor(self) -> float:
+        """Multiplier on a guest's per-branch execution time right now.
+
+        >= ~1.0; grows with coresident dom0 activity.  Sampled per
+        execution quantum by the VMM.
+        """
+        jitter = 1.0
+        if self.jitter_sigma > 0.0:
+            jitter = max(0.5, 1.0 + self._noise_rng.gauss(0.0,
+                                                          self.jitter_sigma))
+        contention = 1.0 + self.contention_alpha * self.dom0.activity_level()
+        return jitter * contention
+
+    def attach_vmm(self, vmm) -> None:
+        self.vmms.append(vmm)
+
+    def __repr__(self) -> str:
+        return f"<Host {self.host_id} guests={len(self.vmms)}>"

@@ -1,0 +1,203 @@
+"""Deterministic multiprocessor guest execution (paper future work).
+
+The paper's prototype mediates uniprocessor VMs and names deterministic
+multiprocessor scheduling (DMP, IEEE Micro'10) as the path to SMP
+support.  This module implements that extension on the simulated
+substrate: a :class:`MultiprocessorRuntime` runs guest *threads* in
+fixed round-robin quanta, so the interleaving -- and therefore every
+shared-state outcome -- is a pure function of guest progress, exactly
+like the rest of the guest's visible world.
+
+Threads are generators yielding instructions to the scheduler:
+
+- an ``int`` -- execute that many branches of work;
+- ``("acquire", name)`` / ``("release", name)`` -- deterministic locks
+  (granted in round-robin order at quantum boundaries);
+- ``("join", thread)`` -- block until another thread finishes.
+
+Wall-clock behaviour: with V virtual CPUs, a scheduling round of T
+runnable threads costs ``quantum * ceil(T / V)`` branches of guest
+execution (idle lanes burn quanta too, keeping the branch counter --
+and hence virtual time -- deterministic), so adding VCPUs gives real
+parallel speedup while preserving replica determinism.
+"""
+
+import math
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+
+class ThreadCrashed(RuntimeError):
+    """A guest thread raised; the exception is chained."""
+
+
+class GuestThread:
+    """One logical thread inside a multiprocessor guest."""
+
+    _states = ("runnable", "blocked", "finished")
+
+    def __init__(self, runtime: "MultiprocessorRuntime", name: str,
+                 body) -> None:
+        self.runtime = runtime
+        self.name = name
+        self._body = body
+        self.state = "runnable"
+        self.result = None
+        #: branches still owed for the instruction currently yielded
+        self._deficit = 0
+        self._joiners: List["GuestThread"] = []
+        self.branches_executed = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.state == "finished"
+
+    # -- scheduler-side driver -------------------------------------------
+    def _advance(self, budget: int) -> None:
+        """Consume up to ``budget`` branches of this thread's work."""
+        while budget > 0 and self.state == "runnable":
+            if self._deficit > 0:
+                step = min(self._deficit, budget)
+                self._deficit -= step
+                budget -= step
+                self.branches_executed += step
+                if self._deficit > 0:
+                    return
+            self._step()
+
+    def _step(self) -> None:
+        """Fetch the next instruction from the generator."""
+        try:
+            instruction = next(self._body)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Exception as error:  # noqa: BLE001
+            self._finish(None)
+            raise ThreadCrashed(f"thread {self.name} crashed") from error
+        if isinstance(instruction, int):
+            if instruction < 0:
+                raise ValueError(f"thread {self.name} yielded negative "
+                                 f"branch count {instruction}")
+            self._deficit = instruction
+            return
+        kind = instruction[0]
+        if kind == "acquire":
+            self.runtime._acquire(self, instruction[1])
+        elif kind == "release":
+            self.runtime._release(self, instruction[1])
+        elif kind == "join":
+            target = instruction[1]
+            if not target.finished:
+                self.state = "blocked"
+                target._joiners.append(self)
+        else:
+            raise ValueError(f"thread {self.name} yielded unknown "
+                             f"instruction {instruction!r}")
+
+    def _finish(self, result) -> None:
+        self.state = "finished"
+        self.result = result
+        for waiter in self._joiners:
+            if waiter.state == "blocked":
+                waiter.state = "runnable"
+        self._joiners.clear()
+        self.runtime._thread_finished(self)
+
+    def __repr__(self) -> str:
+        return f"<GuestThread {self.name} {self.state}>"
+
+
+class MultiprocessorRuntime:
+    """DMP-style deterministic scheduler over guest threads."""
+
+    def __init__(self, guest, vcpus: int = 2, quantum: int = 10_000,
+                 on_idle: Optional[Callable] = None):
+        if vcpus < 1:
+            raise ValueError(f"vcpus must be >= 1, got {vcpus}")
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        self.guest = guest
+        self.vcpus = vcpus
+        self.quantum = quantum
+        self.on_idle = on_idle
+        self.threads: List[GuestThread] = []
+        self._locks: Dict[str, GuestThread] = {}
+        self._lock_queues: Dict[str, deque] = {}
+        self._running = False
+        self.rounds_executed = 0
+
+    # -- thread management -------------------------------------------------
+    def spawn(self, body, name: Optional[str] = None) -> GuestThread:
+        """Create a thread from a generator (or generator function)."""
+        if callable(body) and not hasattr(body, "send"):
+            body = body()
+        if not hasattr(body, "send"):
+            raise TypeError("thread body must be a generator")
+        thread = GuestThread(self, name or f"thread-{len(self.threads)}",
+                             body)
+        self.threads.append(thread)
+        if not self._running:
+            self._running = True
+            # scheduling happens in guest context, deterministically
+            self.guest.compute(0, self._round)
+        return thread
+
+    # -- locks ----------------------------------------------------------------
+    def _acquire(self, thread: GuestThread, name: str) -> None:
+        holder = self._locks.get(name)
+        if holder is None:
+            self._locks[name] = thread
+        else:
+            self._lock_queues.setdefault(name, deque()).append(thread)
+            thread.state = "blocked"
+
+    def _release(self, thread: GuestThread, name: str) -> None:
+        if self._locks.get(name) is not thread:
+            raise RuntimeError(f"thread {thread.name} released lock "
+                               f"{name!r} it does not hold")
+        queue = self._lock_queues.get(name)
+        if queue:
+            successor = queue.popleft()
+            self._locks[name] = successor
+            successor.state = "runnable"
+        else:
+            del self._locks[name]
+
+    def _thread_finished(self, thread: GuestThread) -> None:
+        held = [name for name, holder in self._locks.items()
+                if holder is thread]
+        for name in held:
+            self._release(thread, name)
+
+    # -- the scheduling round ------------------------------------------------
+    @property
+    def runnable(self) -> List[GuestThread]:
+        return [t for t in self.threads if t.state == "runnable"]
+
+    @property
+    def all_finished(self) -> bool:
+        return all(t.finished for t in self.threads)
+
+    def _round(self) -> None:
+        """One deterministic scheduling round."""
+        runnable = self.runnable
+        if not runnable:
+            if self.all_finished:
+                self._running = False
+                if self.on_idle is not None:
+                    self.on_idle()
+                return
+            # blocked threads only: deadlock in the guest program
+            self._running = False
+            raise RuntimeError(
+                f"multiprocessor guest deadlocked: "
+                f"{[t.name for t in self.threads if t.state == 'blocked']}"
+            )
+        self.rounds_executed += 1
+        # round-robin: every runnable thread gets one quantum, V at a time
+        for thread in runnable:
+            thread._advance(self.quantum)
+        lanes = math.ceil(len(runnable) / self.vcpus)
+        round_cost = self.quantum * lanes
+        self.guest.compute(round_cost, self._round)

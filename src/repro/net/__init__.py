@@ -1,0 +1,40 @@
+"""Network substrate: packets, links, routing, UDP, TCP and PGM multicast.
+
+Everything the cloud fabric and the guests speak over.  Protocol
+endpoints are written against the small :class:`NetHost` interface
+(``now`` / ``schedule`` / ``send_packet``), which has two realisations:
+real-time nodes (external clients, ingress/egress, dom0 device models)
+and the deterministic guest runtime (:class:`repro.machine.guest.GuestOS`)
+whose clock is StopWatch virtual time.  The same TCP implementation
+therefore runs both inside guests (deterministically) and outside.
+"""
+
+from repro.net.packet import (
+    Packet,
+    TcpSegment,
+    UdpDatagram,
+    PgmDatagram,
+    ReplicaEnvelope,
+)
+from repro.net.link import Link
+from repro.net.network import Network, RealtimeNode
+from repro.net.udp import UdpStack
+from repro.net.tcp import TcpStack, TcpConnection, TcpConfig
+from repro.net.pgm import PgmSender, PgmReceiver
+
+__all__ = [
+    "Packet",
+    "TcpSegment",
+    "UdpDatagram",
+    "PgmDatagram",
+    "ReplicaEnvelope",
+    "Link",
+    "Network",
+    "RealtimeNode",
+    "UdpStack",
+    "TcpStack",
+    "TcpConnection",
+    "TcpConfig",
+    "PgmSender",
+    "PgmReceiver",
+]

@@ -1,0 +1,64 @@
+"""Point-to-point links with bandwidth, latency, jitter and loss."""
+
+from typing import Callable, Optional
+
+
+class Link:
+    """A simplex link.
+
+    Transmission is FIFO: a packet's serialisation starts when the link
+    head is free (``size * 8 / bandwidth`` seconds), then propagation
+    latency plus jitter applies.  ``loss`` drops packets independently.
+
+    ``bandwidth`` is bits/second (None = infinite); ``latency`` seconds.
+    """
+
+    def __init__(self, sim, latency: float = 0.0005,
+                 bandwidth: Optional[float] = 1e9,
+                 jitter: float = 0.0, loss: float = 0.0,
+                 name: str = "link"):
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0,1), got {loss}")
+        if jitter < 0:
+            raise ValueError(f"negative jitter: {jitter}")
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.jitter = jitter
+        self.loss = loss
+        self.name = name
+        self._rng = sim.rng.stream(f"link.{name}")
+        self._head_free_at = 0.0
+        self.sent_packets = 0
+        self.dropped_packets = 0
+        self.sent_bytes = 0
+
+    def transmit(self, packet, deliver: Callable) -> None:
+        """Send ``packet``; call ``deliver(packet)`` at arrival time."""
+        self.sent_packets += 1
+        self.sent_bytes += packet.size
+        now = self.sim.now
+        start = max(now, self._head_free_at)
+        tx_time = 0.0
+        if self.bandwidth is not None:
+            tx_time = packet.size * 8.0 / self.bandwidth
+        self._head_free_at = start + tx_time
+        if self.loss > 0.0 and self._rng.random() < self.loss:
+            self.dropped_packets += 1
+            return
+        jitter = self._rng.uniform(0.0, self.jitter) if self.jitter else 0.0
+        arrival_delay = (start - now) + tx_time + self.latency + jitter
+        self.sim.call_after(arrival_delay, deliver, packet)
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds a packet enqueued now would wait before serialising."""
+        return max(0.0, self._head_free_at - self.sim.now)
+
+    def __repr__(self) -> str:
+        return (f"<Link {self.name} lat={self.latency * 1e3:.2f}ms "
+                f"bw={self.bandwidth} sent={self.sent_packets}>")

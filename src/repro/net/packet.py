@@ -1,0 +1,124 @@
+"""Packet and protocol-payload types.
+
+Packets carry no real bytes -- payloads are small dataclasses plus a
+``size`` in wire bytes, which is all the timing model needs.  Application
+content rides along as opaque ``tag`` objects so that determinism checks
+can compare exactly what a guest emitted.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+_packet_ids = itertools.count()
+
+#: Ethernet+IP+TCP header overhead approximated for sizing, bytes.
+TCP_HEADER_BYTES = 54
+UDP_HEADER_BYTES = 42
+#: Conventional Ethernet MSS.
+DEFAULT_MSS = 1460
+
+
+@dataclass
+class Packet:
+    """One IP packet on the simulated wire."""
+
+    src: str
+    dst: str
+    protocol: str           # "tcp" | "udp" | "pgm" | "replica" | ...
+    payload: Any
+    size: int               # total wire bytes
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    def copy_to(self, dst: str) -> "Packet":
+        """A duplicate of this packet addressed to ``dst`` (new uid)."""
+        return Packet(src=self.src, dst=dst, protocol=self.protocol,
+                      payload=self.payload, size=self.size)
+
+    def __repr__(self) -> str:
+        return (f"<Packet#{self.uid} {self.src}->{self.dst} "
+                f"{self.protocol} {self.size}B>")
+
+
+@dataclass
+class TcpSegment:
+    """A TCP segment (sequence space counted in bytes)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: str = ""          # combination of "S", "A", "F"
+    data_len: int = 0
+    tags: Tuple = ()         # application message boundaries in this segment
+
+    @property
+    def syn(self) -> bool:
+        return "S" in self.flags
+
+    @property
+    def fin(self) -> bool:
+        return "F" in self.flags
+
+    @property
+    def ack_flag(self) -> bool:
+        return "A" in self.flags
+
+    def wire_size(self) -> int:
+        return TCP_HEADER_BYTES + self.data_len
+
+    def __repr__(self) -> str:
+        return (f"<TcpSeg {self.src_port}->{self.dst_port} "
+                f"[{self.flags or '.'}] seq={self.seq} ack={self.ack} "
+                f"len={self.data_len}>")
+
+
+@dataclass
+class UdpDatagram:
+    """A UDP datagram."""
+
+    src_port: int
+    dst_port: int
+    data_len: int
+    tag: Any = None
+
+    def wire_size(self) -> int:
+        return UDP_HEADER_BYTES + self.data_len
+
+
+@dataclass
+class PgmDatagram:
+    """A PGM (reliable multicast) datagram: ODATA, RDATA or NAK."""
+
+    group: str
+    sender: str
+    kind: str                # "odata" | "rdata" | "nak"
+    seq: int
+    data: Any = None
+    data_len: int = 0
+
+    def wire_size(self) -> int:
+        return UDP_HEADER_BYTES + 16 + self.data_len
+
+
+@dataclass
+class ReplicaEnvelope:
+    """Wrapper used on the cloud-internal network.
+
+    Ingress -> dom0: ``direction="in"`` with an ingress-assigned ``seq``.
+    dom0 -> egress:  ``direction="out"`` with the replica's id and the
+    deterministic per-VM output sequence number.
+    """
+
+    vm: str
+    direction: str           # "in" | "out"
+    seq: int
+    inner: Packet
+    replica_id: Optional[int] = None
+
+    def wire_size(self) -> int:
+        return self.inner.size + 20

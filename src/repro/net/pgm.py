@@ -1,0 +1,196 @@
+"""PGM-style NAK-based reliable multicast (the OpenPGM stand-in).
+
+StopWatch uses reliable multicast for two jobs (Sec. VII-A): replicating
+inbound packets from the ingress node to the three replica hosts, and
+exchanging delivery-time proposals among the replica VMMs.  PGM achieves
+reliability with *negative* acknowledgments: receivers detect sequence
+gaps and ask the sender to retransmit, so the common case adds zero
+inbound traffic at the sender -- the very property Sec. VII-C exploits
+for file download.
+
+The model here: a sender multicasts ODATA datagrams with per-sender
+sequence numbers (one unicast copy per group member).  A receiver seeing
+a gap schedules a NAK after ``nak_delay``; the sender answers with RDATA
+from its retransmit buffer.  Repair continues until the gap closes or
+``max_naks`` is exhausted (the datagram is then reported lost).
+
+A :class:`PgmReceiver` handles one multicast *group* on one host and can
+subscribe to several senders in that group (each sender is an
+independent, in-order stream) -- this is how a replica VMM listens to
+both of its siblings on the coordination group.
+"""
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.packet import Packet, PgmDatagram
+
+
+class PgmSender:
+    """Multicasts datagrams reliably to a fixed member list."""
+
+    def __init__(self, host, group: str, members: List[str],
+                 retain: int = 4096):
+        if not members:
+            raise ValueError("PGM group needs at least one member")
+        self.host = host
+        self.group = group
+        self.members = list(members)
+        self.retain = retain
+        self._next_seq = 0
+        self._buffer: Dict[int, PgmDatagram] = {}
+        self.odata_sent = 0
+        self.rdata_sent = 0
+        host.register_protocol(f"pgm-nak.{group}", self._on_nak)
+
+    def multicast(self, data: Any, data_len: int = 64) -> int:
+        """Send ``data`` to every member; returns the sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        datagram = PgmDatagram(group=self.group, sender=self.host.address,
+                               kind="odata", seq=seq, data=data,
+                               data_len=data_len)
+        self._buffer[seq] = datagram
+        if len(self._buffer) > self.retain:
+            self._buffer.pop(min(self._buffer), None)
+        for member in self.members:
+            if member == self.host.address:
+                continue
+            self.odata_sent += 1
+            self.host.send_packet(Packet(
+                src=self.host.address, dst=member,
+                protocol=f"pgm.{self.group}", payload=datagram,
+                size=datagram.wire_size(),
+            ))
+        return seq
+
+    def _on_nak(self, packet: Packet) -> None:
+        nak: PgmDatagram = packet.payload
+        datagram = self._buffer.get(nak.seq)
+        if datagram is None:
+            return  # repair window exceeded; receiver will give up
+        repair = PgmDatagram(group=self.group, sender=self.host.address,
+                             kind="rdata", seq=datagram.seq,
+                             data=datagram.data, data_len=datagram.data_len)
+        self.rdata_sent += 1
+        self.host.send_packet(Packet(
+            src=self.host.address, dst=packet.src,
+            protocol=f"pgm.{self.group}", payload=repair,
+            size=repair.wire_size(),
+        ))
+
+
+class _SenderStream:
+    """Per-sender in-order reassembly state inside a receiver."""
+
+    def __init__(self, receiver: "PgmReceiver", sender_addr: str,
+                 on_data: Callable, on_loss: Optional[Callable]):
+        self.receiver = receiver
+        self.sender_addr = sender_addr
+        self.on_data = on_data
+        self.on_loss = on_loss
+        self.next_seq = 0
+        self.pending: Dict[int, PgmDatagram] = {}
+        self.nak_state: Dict[int, tuple] = {}  # seq -> (timer, count)
+
+    def admit(self, datagram: PgmDatagram) -> None:
+        if datagram.seq < self.next_seq:
+            return  # duplicate
+        self.pending[datagram.seq] = datagram
+        self.cancel_nak(datagram.seq)
+        for missing in range(self.next_seq, datagram.seq):
+            if missing not in self.pending:
+                self.schedule_nak(missing)
+        self.drain()
+
+    def drain(self) -> None:
+        while self.next_seq in self.pending:
+            datagram = self.pending.pop(self.next_seq)
+            self.next_seq += 1
+            self.on_data(datagram.data, datagram.seq)
+
+    def schedule_nak(self, seq: int) -> None:
+        if seq in self.nak_state:
+            return
+        timer = self.receiver.host.schedule(
+            self.receiver.nak_delay, self.fire_nak, seq)
+        self.nak_state[seq] = (timer, 0)
+
+    def fire_nak(self, seq: int) -> None:
+        if seq in self.pending or seq < self.next_seq:
+            self.nak_state.pop(seq, None)
+            return
+        _, count = self.nak_state.get(seq, (None, 0))
+        if count >= self.receiver.max_naks:
+            self.nak_state.pop(seq, None)
+            self.give_up(seq)
+            return
+        self.receiver._send_nak(self.sender_addr, seq)
+        timer = self.receiver.host.schedule(
+            self.receiver.nak_delay * 2, self.fire_nak, seq)
+        self.nak_state[seq] = (timer, count + 1)
+
+    def cancel_nak(self, seq: int) -> None:
+        state = self.nak_state.pop(seq, None)
+        if state is not None and state[0] is not None:
+            state[0].cancel()
+
+    def give_up(self, seq: int) -> None:
+        """Repair failed: skip the datagram so the stream keeps flowing."""
+        if seq == self.next_seq:
+            self.next_seq += 1
+            if self.on_loss is not None:
+                self.on_loss(seq)
+            self.drain()
+        # gaps behind other gaps resolve when the head gap is skipped
+
+
+class PgmReceiver:
+    """All PGM receive state for one (host, group) pair.
+
+    Subscribe to each sender whose stream this host should consume.  The
+    classic single-sender form is supported directly in the constructor::
+
+        PgmReceiver(host, "grp", "sender-addr", on_data)
+    """
+
+    def __init__(self, host, group: str,
+                 sender_addr: Optional[str] = None,
+                 on_data: Optional[Callable] = None,
+                 nak_delay: float = 0.002, max_naks: int = 5,
+                 on_loss: Optional[Callable] = None):
+        self.host = host
+        self.group = group
+        self.nak_delay = nak_delay
+        self.max_naks = max_naks
+        self._streams: Dict[str, _SenderStream] = {}
+        self.naks_sent = 0
+        host.register_protocol(f"pgm.{group}", self._on_packet)
+        if sender_addr is not None:
+            if on_data is None:
+                raise ValueError("on_data required when sender_addr given")
+            self.subscribe(sender_addr, on_data, on_loss)
+
+    def subscribe(self, sender_addr: str, on_data: Callable,
+                  on_loss: Optional[Callable] = None) -> None:
+        """Consume the in-order stream from ``sender_addr``."""
+        if sender_addr in self._streams:
+            raise ValueError(f"already subscribed to {sender_addr!r} in "
+                             f"group {self.group!r}")
+        self._streams[sender_addr] = _SenderStream(
+            self, sender_addr, on_data, on_loss)
+
+    def _on_packet(self, packet: Packet) -> None:
+        datagram: PgmDatagram = packet.payload
+        stream = self._streams.get(datagram.sender)
+        if stream is not None:
+            stream.admit(datagram)
+
+    def _send_nak(self, sender_addr: str, seq: int) -> None:
+        nak = PgmDatagram(group=self.group, sender=self.host.address,
+                          kind="nak", seq=seq)
+        self.naks_sent += 1
+        self.host.send_packet(Packet(
+            src=self.host.address, dst=sender_addr,
+            protocol=f"pgm-nak.{self.group}", payload=nak,
+            size=nak.wire_size(),
+        ))

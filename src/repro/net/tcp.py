@@ -1,0 +1,463 @@
+"""A compact but behaviour-bearing TCP.
+
+Implements the mechanisms that matter for StopWatch's evaluation:
+
+- three-way handshake (the SYN/ACK round trips dominate small HTTP
+  downloads under StopWatch, Fig. 5);
+- ACK-clocked slow start and congestion avoidance (inbound ACK delivery
+  delay is exactly what Δn taxes);
+- delayed ACKs and Nagle's algorithm (their interaction produces the
+  "client-to-server packets per operation fall as load rises" effect of
+  Fig. 6(b));
+- a receive window (64 KB default, period-typical) bounding the
+  bandwidth-delay product, which is what turns Δn into the steady-state
+  ~2.8x HTTP slowdown for large files;
+- timeout-based retransmission, so lossy links still make progress.
+
+Applications exchange *messages*: ``connection.send_message(length, tag)``
+queues ``length`` bytes; the peer's ``on_message(tag, length)`` fires when
+the last byte of that message has been delivered in order.  No actual
+byte contents exist -- ``tag`` is the application payload.
+
+The implementation is written against the NetHost interface, so the same
+code runs in real time (clients) and in guest virtual time
+(deterministically, inside replicas).
+"""
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.packet import DEFAULT_MSS, Packet, TcpSegment
+
+
+class TcpError(RuntimeError):
+    """Protocol usage error."""
+
+
+@dataclass
+class TcpConfig:
+    """Tunables; defaults model a period-typical Linux stack."""
+
+    mss: int = DEFAULT_MSS
+    initial_cwnd_segments: int = 2
+    initial_ssthresh: int = 1 << 20
+    receive_window: int = 64 * 1024
+    delayed_ack_timeout: float = 0.040
+    delayed_ack_segments: int = 2
+    nagle: bool = True
+    rto_initial: float = 0.5
+    rto_min: float = 0.2
+    rto_max: float = 8.0
+    max_retransmits: int = 10
+
+
+class TcpStack:
+    """All TCP state for one host; demultiplexes by connection 4-tuple."""
+
+    def __init__(self, host, config: Optional[TcpConfig] = None):
+        self.host = host
+        self.config = config or TcpConfig()
+        self._listeners: Dict[int, Callable] = {}
+        self._connections: Dict[Tuple[int, str, int], "TcpConnection"] = {}
+        self._next_ephemeral = 40000
+        self.segments_sent = 0
+        self.segments_received = 0
+        host.register_protocol("tcp", self._on_packet)
+
+    # -- app API ---------------------------------------------------------
+    def listen(self, port: int, on_connection: Callable) -> None:
+        """Accept connections on ``port``; ``on_connection(conn)`` fires
+        when a peer completes the handshake."""
+        if port in self._listeners:
+            raise TcpError(f"{self.host.address}: port {port} already "
+                           f"listening")
+        self._listeners[port] = on_connection
+
+    def connect(self, remote_addr: str, remote_port: int) -> "TcpConnection":
+        """Open a connection; returns immediately.  Set ``on_connect`` on
+        the returned object to learn when the handshake completes."""
+        local_port = self._next_ephemeral
+        self._next_ephemeral += 1
+        conn = TcpConnection(self, local_port, remote_addr, remote_port,
+                             initiator=True)
+        self._connections[(local_port, remote_addr, remote_port)] = conn
+        conn._start_handshake()
+        return conn
+
+    # -- wire side ---------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        segment: TcpSegment = packet.payload
+        self.segments_received += 1
+        key = (segment.dst_port, packet.src, segment.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn._on_segment(segment)
+            return
+        if segment.syn and not segment.ack_flag:
+            acceptor = self._listeners.get(segment.dst_port)
+            if acceptor is not None:
+                conn = TcpConnection(self, segment.dst_port, packet.src,
+                                     segment.src_port, initiator=False)
+                self._connections[key] = conn
+                conn._accept_callback = acceptor
+                conn._on_segment(segment)
+        # else: no listener / stale segment -> drop (no RST modelling)
+
+    def _transmit(self, conn: "TcpConnection", segment: TcpSegment) -> None:
+        self.segments_sent += 1
+        self.host.send_packet(Packet(
+            src=self.host.address, dst=conn.remote_addr, protocol="tcp",
+            payload=segment, size=segment.wire_size(),
+        ))
+
+    def _forget(self, conn: "TcpConnection") -> None:
+        self._connections.pop(
+            (conn.local_port, conn.remote_addr, conn.remote_port), None)
+
+
+class TcpConnection:
+    """One end of a TCP connection."""
+
+    def __init__(self, stack: TcpStack, local_port: int, remote_addr: str,
+                 remote_port: int, initiator: bool):
+        self.stack = stack
+        self.config = stack.config
+        self.host = stack.host
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.initiator = initiator
+        self.state = "closed"
+
+        # send side (sequence space in bytes; ISN = 0 deterministically)
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = self.config.initial_cwnd_segments * self.config.mss
+        self.ssthresh = self.config.initial_ssthresh
+        self.peer_window = self.config.receive_window
+        self._send_queue: List[Tuple[Any, int]] = []   # (tag, length)
+        self._queued_bytes = 0
+        self._inflight: List[TcpSegment] = []
+        self._fin_queued = False
+        self._fin_sent = False
+        self._rto = self.config.rto_initial
+        self._rto_timer = None
+        self._retransmit_count = 0
+
+        # receive side
+        self.rcv_nxt = 0
+        self._ooo: Dict[int, TcpSegment] = {}
+        self._pending_tags: List[Tuple[int, Any]] = []  # (end_seq, tag)
+        self._segments_since_ack = 0
+        self._delack_timer = None
+        self._peer_fin_received = False
+        self._fin_acked = False
+        self._close_notified = False
+
+        # counters
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+        # application callbacks
+        self.on_connect: Optional[Callable] = None
+        self.on_message: Optional[Callable] = None   # fn(tag, length)
+        self.on_receive: Optional[Callable] = None   # fn(new_bytes)
+        self.on_close: Optional[Callable] = None
+        self._accept_callback: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # application API
+    # ------------------------------------------------------------------
+    def send_message(self, length: int, tag: Any = None) -> None:
+        """Queue an application message of ``length`` bytes."""
+        if length <= 0:
+            raise TcpError(f"message length must be positive, got {length}")
+        if self._fin_queued:
+            raise TcpError("send after close")
+        self._send_queue.append((tag, length))
+        self._queued_bytes += length
+        if self.state == "established":
+            self._try_send()
+
+    def close(self) -> None:
+        """Half-close after all queued data is delivered."""
+        if self._fin_queued:
+            return
+        self._fin_queued = True
+        if self.state == "established":
+            self._try_send()
+
+    @property
+    def connected(self) -> bool:
+        return self.state == "established"
+
+    # ------------------------------------------------------------------
+    # handshake
+    # ------------------------------------------------------------------
+    def _start_handshake(self) -> None:
+        self.state = "syn-sent"
+        self._send_control("S")
+        self._arm_rto()
+
+    def _segment(self, flags: str, data_len: int = 0,
+                 tags: Tuple = (), seq: Optional[int] = None) -> TcpSegment:
+        return TcpSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=self.snd_nxt if seq is None else seq,
+            ack=self.rcv_nxt, flags=flags, data_len=data_len, tags=tags,
+        )
+
+    def _send_control(self, flags: str) -> None:
+        if "A" in flags:
+            self._cancel_delack()
+            self._segments_since_ack = 0
+        segment = self._segment(flags)
+        if "S" in flags or "F" in flags:
+            self.snd_nxt += 1  # SYN/FIN consume one sequence number
+            self._inflight.append(segment)
+        self.stack._transmit(self, segment)
+
+    # ------------------------------------------------------------------
+    # sending data
+    # ------------------------------------------------------------------
+    def _flight_size(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    def _try_send(self) -> None:
+        mss = self.config.mss
+        window = min(self.cwnd, self.peer_window)
+        sent_any = False
+        while self._queued_bytes > 0:
+            budget = window - self._flight_size()
+            if budget <= 0:
+                break
+            chunk = min(mss, self._queued_bytes, budget)
+            # sender-side silly-window avoidance: never emit a runt just
+            # because the window is momentarily small
+            if chunk < mss and chunk < self._queued_bytes:
+                break
+            # Nagle: hold a runt segment while data is in flight.
+            if (self.config.nagle and chunk < mss
+                    and chunk == self._queued_bytes
+                    and self._flight_size() > 0):
+                break
+            tags = self._consume_queue(chunk)
+            segment = self._segment("A", data_len=chunk, tags=tags)
+            self.snd_nxt += chunk
+            self.bytes_sent += chunk
+            self._inflight.append(segment)
+            self.stack._transmit(self, segment)
+            self._cancel_delack()  # data segments carry the ACK
+            sent_any = True
+        if (self._fin_queued and not self._fin_sent
+                and self._queued_bytes == 0):
+            self._fin_sent = True
+            self.state = "fin-sent" if self.state == "established" else self.state
+            self._send_control("FA")
+            sent_any = True
+        if sent_any:
+            self._arm_rto()
+
+    def _consume_queue(self, nbytes: int) -> Tuple:
+        """Dequeue ``nbytes`` from the message queue, returning the tags
+        whose final byte falls inside this chunk as (end_seq, tag, length)
+        triples."""
+        tags = []
+        start_seq = self.snd_nxt
+        consumed = 0
+        while consumed < nbytes:
+            tag, remaining = self._send_queue[0]
+            take = min(remaining, nbytes - consumed)
+            consumed += take
+            if take == remaining:
+                self._send_queue.pop(0)
+                tags.append((start_seq + consumed, tag))
+            else:
+                self._send_queue[0] = (tag, remaining - take)
+        self._queued_bytes -= nbytes
+        return tuple(tags)
+
+    # ------------------------------------------------------------------
+    # retransmission
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        if self._inflight:
+            self._rto_timer = self.host.schedule(self._rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if not self._inflight or self.state == "closed":
+            return
+        self._retransmit_count += 1
+        if self._retransmit_count > self.config.max_retransmits:
+            self._abort()
+            return
+        # multiplicative backoff + classic Tahoe-style response
+        self._rto = min(self._rto * 2.0, self.config.rto_max)
+        self.ssthresh = max(self._flight_size() // 2, 2 * self.config.mss)
+        self.cwnd = self.config.mss
+        oldest = self._inflight[0]
+        resend = TcpSegment(
+            src_port=oldest.src_port, dst_port=oldest.dst_port,
+            seq=oldest.seq, ack=self.rcv_nxt, flags=oldest.flags,
+            data_len=oldest.data_len, tags=oldest.tags,
+        )
+        self.stack._transmit(self, resend)
+        self._arm_rto()
+
+    def _abort(self) -> None:
+        self.state = "closed"
+        self._cancel_rto()
+        self._cancel_delack()
+        self.stack._forget(self)
+        self._notify_close()
+
+    def _notify_close(self) -> None:
+        if self._close_notified:
+            return
+        self._close_notified = True
+        if self.on_close is not None:
+            self.on_close()
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def _on_segment(self, segment: TcpSegment) -> None:
+        if self.state == "closed" and not segment.syn:
+            return
+        if segment.syn:
+            self._on_syn(segment)
+            return
+        if segment.ack_flag:
+            self._on_ack(segment.ack)
+        if segment.data_len > 0 or segment.fin:
+            self._on_data(segment)
+
+    def _on_syn(self, segment: TcpSegment) -> None:
+        if self.initiator:
+            if self.state != "syn-sent" or not segment.ack_flag:
+                return
+            self.rcv_nxt = segment.seq + 1
+            self._on_ack(segment.ack)
+            self.state = "established"
+            self._send_immediate_ack()
+            if self.on_connect is not None:
+                self.on_connect()
+            self._try_send()
+        else:
+            if self.state not in ("closed", "syn-received"):
+                return
+            if self.state == "closed":
+                self.state = "syn-received"
+                self.rcv_nxt = segment.seq + 1
+                self._send_control("SA")
+                self._arm_rto()
+            else:
+                # duplicate SYN: retransmit SYN+ACK
+                syn_ack = self._segment("SA", seq=0)
+                self.stack._transmit(self, syn_ack)
+
+    def _on_ack(self, ack: int) -> None:
+        if self.state == "syn-received" and ack >= 1:
+            self.state = "established"
+            if self._accept_callback is not None:
+                callback, self._accept_callback = self._accept_callback, None
+                callback(self)
+        if ack <= self.snd_una:
+            return
+        newly_acked = ack - self.snd_una
+        self.snd_una = ack
+        self._retransmit_count = 0
+        self._rto = max(self.config.rto_min,
+                        min(self._rto, self.config.rto_initial))
+        self._inflight = [s for s in self._inflight
+                          if s.seq + max(s.data_len, 1) > ack]
+        # congestion control
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(newly_acked, self.config.mss)
+        else:
+            self.cwnd += max(1, self.config.mss * self.config.mss
+                             // self.cwnd)
+        if self._inflight:
+            self._arm_rto()
+        else:
+            self._cancel_rto()
+            if self._fin_sent and self.snd_una == self.snd_nxt:
+                self._fin_acked = True
+                self._check_full_close()
+        self._try_send()
+
+    def _on_data(self, segment: TcpSegment) -> None:
+        if segment.seq > self.rcv_nxt:
+            self._ooo[segment.seq] = segment
+            self._send_immediate_ack()  # duplicate ACK
+            return
+        if segment.seq + max(segment.data_len, 1) <= self.rcv_nxt:
+            self._send_immediate_ack()  # pure duplicate
+            return
+        self._admit(segment)
+        while self.rcv_nxt in self._ooo:
+            self._admit(self._ooo.pop(self.rcv_nxt))
+        self._maybe_ack()
+
+    def _admit(self, segment: TcpSegment) -> None:
+        if segment.data_len > 0:
+            self.rcv_nxt = segment.seq + segment.data_len
+            self.bytes_received += segment.data_len
+            if self.on_receive is not None:
+                self.on_receive(segment.data_len)
+            for end_seq, tag in segment.tags:
+                if self.on_message is not None:
+                    self.on_message(tag, end_seq)
+        if segment.fin:
+            self.rcv_nxt = segment.seq + segment.data_len + 1
+            self._peer_fin_received = True
+            self._send_immediate_ack()
+            if not self._fin_sent:
+                self.state = "close-wait"
+            self._notify_close()
+            self._check_full_close()
+
+    def _check_full_close(self) -> None:
+        """Tear down once our FIN is acked and the peer's FIN arrived."""
+        if self.state == "closed":
+            return
+        if self._fin_acked and self._peer_fin_received:
+            self.state = "closed"
+            self._cancel_rto()
+            self._cancel_delack()
+            self.stack._forget(self)
+            self._notify_close()
+
+    # -- acknowledgment strategy ----------------------------------------
+    def _maybe_ack(self) -> None:
+        self._segments_since_ack += 1
+        if self._segments_since_ack >= self.config.delayed_ack_segments:
+            self._send_immediate_ack()
+        elif self._delack_timer is None:
+            self._delack_timer = self.host.schedule(
+                self.config.delayed_ack_timeout, self._on_delack)
+
+    def _on_delack(self) -> None:
+        self._delack_timer = None
+        self._send_immediate_ack()
+
+    def _send_immediate_ack(self) -> None:
+        self._cancel_delack()
+        self._segments_since_ack = 0
+        self.stack._transmit(self, self._segment("A"))
+
+    def _cancel_delack(self) -> None:
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+
+    def __repr__(self) -> str:
+        return (f"<TcpConnection {self.host.address}:{self.local_port} -> "
+                f"{self.remote_addr}:{self.remote_port} {self.state}>")

@@ -1,0 +1,48 @@
+"""Replica placement in the cloud (paper Sec. VIII).
+
+StopWatch requires the three replicas of each guest VM to coreside with
+nonoverlapping sets of (replicas of) other VMs.  Viewing machines as the
+vertices of the complete graph ``K_n``, a guest VM's placement is a
+triangle, and the constraint is that all triangles be pairwise
+**edge-disjoint**.
+
+- :mod:`repro.placement.triangles` -- Theorem 1 (maximum packing size),
+  edge-disjointness verification, and a greedy packer for arbitrary n.
+- :mod:`repro.placement.quasigroup` -- idempotent commutative quasigroups
+  of odd order (the ingredient of Bose's construction).
+- :mod:`repro.placement.bose` -- Bose's Steiner-triple-system groups
+  ``G_0 .. G_v`` and the capacity-constrained Theorem 2 placement.
+- :mod:`repro.placement.scheduler` -- an incremental placement scheduler
+  a cloud operator would run, plus utilisation reporting.
+"""
+
+from repro.placement.triangles import (
+    Triangle,
+    max_triangle_packing_size,
+    verify_edge_disjoint,
+    node_visit_counts,
+    greedy_triangle_packing,
+)
+from repro.placement.quasigroup import IdempotentCommutativeQuasigroup
+from repro.placement.bose import bose_groups, theorem2_placement
+from repro.placement.scheduler import (
+    PlacementScheduler,
+    PlacementError,
+    utilization_report,
+    UtilizationReport,
+)
+
+__all__ = [
+    "Triangle",
+    "max_triangle_packing_size",
+    "verify_edge_disjoint",
+    "node_visit_counts",
+    "greedy_triangle_packing",
+    "IdempotentCommutativeQuasigroup",
+    "bose_groups",
+    "theorem2_placement",
+    "PlacementScheduler",
+    "PlacementError",
+    "utilization_report",
+    "UtilizationReport",
+]

@@ -1,0 +1,118 @@
+"""Bose's construction and the Theorem 2 placement (paper Sec. VIII).
+
+For ``n = 6v + 3`` machines, label the nodes ``Q x {0, 1, 2}`` with ``Q``
+an idempotent commutative quasigroup of order ``2v + 1``.  The triangle
+groups are::
+
+    G_0           = { {(a,0), (a,1), (a,2)} : a in Q }
+    G_t (1<=t<=v) = { {(a_i,l), (a_j,l), (a_i o a_j, l+1 mod 3)} :
+                      0 <= i <= 2v, 0 <= l <= 2, j = i + t mod 2v+1 }
+
+All triangles across all groups are pairwise edge-disjoint; G_0 visits
+every node once, each G_t visits every node exactly three times.
+Theorem 2 stacks groups to satisfy a per-machine capacity ``c``:
+
+- c ≡ 0 (mod 3): groups G_1 .. G_{c/3}            -> k = c n / 3 VMs
+- c ≡ 1 (mod 3): G_0 plus G_1 .. G_{(c-1)/3}      -> k = c n / 3 VMs
+- c ≡ 2 (mod 3): G_0, G_1 .. G_{(c-2)/3}, plus the (n-3)/6 triangles
+  {(a_i,0), (a_{i+v},0), (a_i o a_{i+v}, 1)} for 0 <= i <= v-1
+  -> k = (c-1) n / 3 + (n-3)/6 VMs
+"""
+
+from typing import List
+
+from repro.placement.quasigroup import IdempotentCommutativeQuasigroup
+from repro.placement.triangles import Triangle, normalize
+
+
+def node_id(element: int, layer: int, q: int) -> int:
+    """Map (a_i, l) in Q x {0,1,2} to an integer machine id."""
+    return layer * q + element
+
+
+def _validate_n(n: int) -> int:
+    """Return v for n = 6v + 3, raising otherwise."""
+    if n < 3 or n % 6 != 3:
+        raise ValueError(
+            f"Bose construction requires n ≡ 3 (mod 6), got n={n}"
+        )
+    return (n - 3) // 6
+
+
+def bose_groups(n: int) -> List[List[Triangle]]:
+    """The groups ``[G_0, G_1, .., G_v]`` for ``n = 6v + 3`` machines."""
+    v = _validate_n(n)
+    q = 2 * v + 1
+    quasigroup = IdempotentCommutativeQuasigroup(q)
+
+    groups: List[List[Triangle]] = []
+    g0 = [normalize((node_id(a, 0, q), node_id(a, 1, q), node_id(a, 2, q)))
+          for a in range(q)]
+    groups.append(g0)
+
+    for t in range(1, v + 1):
+        gt: List[Triangle] = []
+        for i in range(q):
+            j = (i + t) % q
+            k = quasigroup.op(i, j)
+            for layer in range(3):
+                gt.append(normalize((
+                    node_id(i, layer, q),
+                    node_id(j, layer, q),
+                    node_id(k, (layer + 1) % 3, q),
+                )))
+        groups.append(gt)
+    return groups
+
+
+def theorem2_placement(n: int, capacity: int) -> List[Triangle]:
+    """The Theorem 2 placement: a maximal legal triangle set for ``n``
+    machines each able to host ``capacity`` guest VM replicas.
+
+    Requires ``n ≡ 3 (mod 6)`` and ``capacity <= (n-1)/2``.
+    """
+    v = _validate_n(n)
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    if capacity > (n - 1) // 2:
+        raise ValueError(
+            f"capacity {capacity} exceeds the per-node maximum (n-1)/2 = "
+            f"{(n - 1) // 2}"
+        )
+    if capacity == 0:
+        return []
+
+    groups = bose_groups(n)
+    placement: List[Triangle] = []
+    remainder = capacity % 3
+
+    if remainder == 0:
+        for group in groups[1:capacity // 3 + 1]:
+            placement.extend(group)
+    elif remainder == 1:
+        placement.extend(groups[0])
+        for group in groups[1:(capacity - 1) // 3 + 1]:
+            placement.extend(group)
+    else:  # remainder == 2
+        placement.extend(groups[0])
+        for group in groups[1:(capacity - 2) // 3 + 1]:
+            placement.extend(group)
+        # v extra triangles from G_v visiting each node at most once:
+        # {(a_i, 0), (a_j, 0), (a_i o a_j, 1)} for 0 <= i <= v-1, j = i+v.
+        q = 2 * v + 1
+        quasigroup = IdempotentCommutativeQuasigroup(q)
+        for i in range(v):
+            j = (i + v) % q
+            k = quasigroup.op(i, j)
+            placement.append(normalize((
+                node_id(i, 0, q), node_id(j, 0, q), node_id(k, 1, q),
+            )))
+    return placement
+
+
+def theorem2_vm_count(n: int, capacity: int) -> int:
+    """The k guaranteed by Theorem 2 (without building the placement)."""
+    _validate_n(n)
+    if capacity % 3 in (0, 1):
+        return capacity * n // 3
+    return (capacity - 1) * n // 3 + (n - 3) // 6

@@ -1,0 +1,95 @@
+"""Triangle packings of K_n (paper Sec. VIII, Theorem 1).
+
+A placement of one StopWatch guest VM is a triangle on the machine graph;
+a legal placement of many VMs is a set of pairwise edge-disjoint
+triangles.  Theorem 1 (a corollary of Horsley's maximum-packing result)
+gives the exact maximum number of such triangles.
+"""
+
+from collections import Counter
+from math import comb
+from typing import Dict, Iterable, List, Set, Tuple
+
+Triangle = Tuple[int, int, int]
+
+
+def normalize(triangle: Iterable[int]) -> Triangle:
+    """Canonical sorted form of a triangle; validates distinct vertices."""
+    nodes = tuple(sorted(triangle))
+    if len(nodes) != 3 or len(set(nodes)) != 3:
+        raise ValueError(f"not a triangle: {triangle!r}")
+    return nodes  # type: ignore[return-value]
+
+
+def edges_of(triangle: Iterable[int]) -> List[Tuple[int, int]]:
+    """The three undirected edges of a triangle (sorted endpoints)."""
+    a, b, c = normalize(triangle)
+    return [(a, b), (a, c), (b, c)]
+
+
+def max_triangle_packing_size(n: int) -> int:
+    """Theorem 1: size of a maximum edge-disjoint triangle packing of K_n.
+
+    - n odd:  largest k with 3k <= C(n,2) and C(n,2) - 3k not in {1, 2};
+    - n even: largest k with 3k <= C(n,2) - n/2.
+    """
+    if n < 3:
+        return 0
+    total_edges = comb(n, 2)
+    if n % 2 == 1:
+        k = total_edges // 3
+        while k > 0 and (total_edges - 3 * k) in (1, 2):
+            k -= 1
+        return k
+    return (total_edges - n // 2) // 3
+
+
+def verify_edge_disjoint(triangles: Iterable[Iterable[int]]) -> bool:
+    """True iff no two triangles share an edge (sharing a vertex is fine)."""
+    seen: Set[Tuple[int, int]] = set()
+    for triangle in triangles:
+        for edge in edges_of(triangle):
+            if edge in seen:
+                return False
+            seen.add(edge)
+    return True
+
+
+def node_visit_counts(triangles: Iterable[Iterable[int]]) -> Dict[int, int]:
+    """How many triangles touch each node (= per-machine VM count)."""
+    counts: Counter = Counter()
+    for triangle in triangles:
+        for node in normalize(triangle):
+            counts[node] += 1
+    return dict(counts)
+
+
+def greedy_triangle_packing(n: int, capacity: int = None) -> List[Triangle]:
+    """A simple deterministic greedy packer for arbitrary ``n``.
+
+    Iterates triples in lexicographic order, accepting each whose edges
+    are all unused (and whose nodes have residual capacity).  Not optimal,
+    but a useful baseline and the fallback for n not ≡ 3 (mod 6).
+    """
+    used: Set[Tuple[int, int]] = set()
+    load: Counter = Counter()
+    packing: List[Triangle] = []
+    for a in range(n):
+        for b in range(a + 1, n):
+            if (a, b) in used:
+                continue
+            for c in range(b + 1, n):
+                if (a, b) in used:
+                    break
+                if (a, c) in used or (b, c) in used:
+                    continue
+                if capacity is not None and (
+                        load[a] >= capacity or load[b] >= capacity
+                        or load[c] >= capacity):
+                    continue
+                for edge in ((a, b), (a, c), (b, c)):
+                    used.add(edge)
+                for node in (a, b, c):
+                    load[node] += 1
+                packing.append((a, b, c))
+    return packing

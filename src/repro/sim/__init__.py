@@ -1,0 +1,55 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the substrate on which the whole StopWatch reproduction
+runs: a small but complete discrete-event simulator with generator-based
+processes, events and conditions, FIFO channels, capacity resources, named
+deterministic random streams and a tracing facility.
+
+The public surface mirrors what the rest of the library needs:
+
+- :class:`Simulator` -- the event loop and clock.
+- :class:`Process` -- a running generator-based activity.
+- :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf` --
+  waitables that processes can ``yield``.
+- :class:`Channel`, :class:`Store` -- producer/consumer queues.
+- :class:`Resource` -- a capacity-limited resource with a FIFO queue.
+- :class:`RngRegistry` -- named, seeded random streams.
+- :class:`Trace` -- an in-memory event recorder used by the experiment
+  harnesses.
+"""
+
+from repro.sim.errors import (
+    SimulationError,
+    ProcessFailed,
+    Interrupt,
+    ChannelClosed,
+)
+from repro.sim.events import Event, Timeout, AnyOf, AllOf, Condition
+from repro.sim.kernel import Simulator, ScheduledCall
+from repro.sim.process import Process
+from repro.sim.channel import Channel, Store
+from repro.sim.resources import Resource
+from repro.sim.rng import RngRegistry
+from repro.sim.monitor import Trace, TraceRecord, MetricSet
+
+__all__ = [
+    "Simulator",
+    "ScheduledCall",
+    "Process",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Condition",
+    "Channel",
+    "Store",
+    "Resource",
+    "RngRegistry",
+    "Trace",
+    "TraceRecord",
+    "MetricSet",
+    "SimulationError",
+    "ProcessFailed",
+    "Interrupt",
+    "ChannelClosed",
+]

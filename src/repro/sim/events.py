@@ -1,0 +1,138 @@
+"""Waitables: events, timeouts and composite conditions.
+
+A *waitable* is anything a process may ``yield``.  The contract is small:
+
+- ``add_callback(fn)`` -- call ``fn(waitable)`` once triggered (immediately
+  if already triggered);
+- ``triggered`` -- whether it has fired;
+- ``value`` -- the value delivered to the waiter;
+- ``ok`` -- False when the waitable carries a failure, in which case
+  ``value`` is the exception to raise in the waiter.
+"""
+
+from typing import Callable, List, Optional
+
+from repro.sim.errors import SimulationError
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Trigger with :meth:`trigger` (success) or :meth:`fail` (propagates the
+    exception into every waiter).  Triggering twice is an error; this
+    catches protocol bugs early.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.triggered = False
+        self.ok = True
+        self.value = None
+        self._callbacks: List[Callable] = []
+
+    def add_callback(self, fn: Callable) -> None:
+        if self.triggered:
+            self.sim.call_soon(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable) -> None:
+        if fn in self._callbacks:
+            self._callbacks.remove(fn)
+
+    def trigger(self, value=None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self.sim.call_soon(fn, self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self.triggered = True
+        self.ok = False
+        self.value = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self.sim.call_soon(fn, self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that self-triggers ``delay`` seconds after creation."""
+
+    def __init__(self, sim, delay: float, value=None):
+        super().__init__(sim)
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+        self._call = sim.call_after(delay, self._fire, value)
+
+    def _fire(self, value) -> None:
+        if not self.triggered:
+            self.trigger(value)
+
+    def cancel(self) -> None:
+        """Cancel the pending timeout (no effect once triggered)."""
+        self._call.cancel()
+
+
+class Condition(Event):
+    """Base for composite waitables over several child waitables."""
+
+    def __init__(self, sim, children):
+        super().__init__(sim)
+        self.children = list(children)
+        if not self.children:
+            raise SimulationError("condition over zero waitables")
+        for child in self.children:
+            child.add_callback(self._child_fired)
+
+    def _child_fired(self, child) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(Condition):
+    """Triggers when the first child triggers.
+
+    ``value`` is a dict mapping every already-triggered child to its value,
+    so a racer can tell which waitable(s) won.
+    """
+
+    def _child_fired(self, child) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        fired = {c: c.value for c in self.children if c.triggered and c.ok}
+        self.trigger(fired)
+
+
+class AllOf(Condition):
+    """Triggers once every child has triggered.
+
+    ``value`` is a dict mapping each child to its value.
+    """
+
+    def _child_fired(self, child) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        if all(c.triggered for c in self.children):
+            self.trigger({c: c.value for c in self.children})
+
+
+def first_of(sim, *waitables) -> AnyOf:
+    """Convenience wrapper: ``yield first_of(sim, a, b, c)``."""
+    return AnyOf(sim, waitables)

@@ -1,0 +1,184 @@
+"""The event loop: a classic calendar-queue discrete-event simulator.
+
+Time is a float in **seconds of simulated real (wall-clock) time**.  All
+higher layers (virtual time inside guests, virtual device clocks) are
+derived quantities computed by the VMM; the kernel itself only ever deals
+in real time.
+
+Scheduling is deterministic: events at the same timestamp fire in the order
+they were scheduled (FIFO tie-break via a monotonically increasing sequence
+number), so a simulation with fixed RNG seeds is exactly reproducible.
+"""
+
+import heapq
+from typing import Callable, Optional
+
+from repro.sim.errors import SimulationError
+
+
+class ScheduledCall:
+    """A handle to a scheduled callback; supports cancellation.
+
+    Instances are created by :meth:`Simulator.call_at` /
+    :meth:`Simulator.call_after` and compare by (time, sequence) so they can
+    live directly in the heap.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    Usage::
+
+        sim = Simulator(seed=7)
+        sim.process(my_generator_fn(sim))
+        sim.run(until=10.0)
+
+    The ``seed`` feeds the simulator's :class:`~repro.sim.rng.RngRegistry`,
+    exposed as :attr:`rng`; components ask for named streams so that adding
+    a new component never perturbs the draws of existing ones.
+    """
+
+    def __init__(self, seed: int = 0, trace=None):
+        from repro.sim.rng import RngRegistry
+        from repro.sim.monitor import Trace
+
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else Trace()
+        self.event_count: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, fn: Callable, *args) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        call = ScheduledCall(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, call)
+        return call
+
+    def call_after(self, delay: float, fn: Callable, *args) -> ScheduledCall:
+        """Schedule ``fn(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self.now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable, *args) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at the current time (after pending events
+        already scheduled for this instant)."""
+        return self.call_at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # processes and waitables
+    # ------------------------------------------------------------------
+    def process(self, generator, name: Optional[str] = None):
+        """Start a generator as a :class:`~repro.sim.process.Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value=None):
+        """Return an :class:`~repro.sim.events.Timeout` waitable."""
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def event(self):
+        """Return a fresh, untriggered :class:`~repro.sim.events.Event`."""
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run a single event; return False when the queue is empty."""
+        while self._heap:
+            call = heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            self.now = call.time
+            self.event_count += 1
+            fn, args = call.fn, call.args
+            call.fn, call.args = None, ()  # break reference cycles
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` events have fired (whichever comes first).
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        on return (even if the queue drained earlier), which makes
+        measurement windows line up across runs.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        self._stopped = False
+        budget = max_events
+        try:
+            while self._heap and not self._stopped:
+                if until is not None and self._heap[0].time > until:
+                    break
+                if budget is not None:
+                    if budget <= 0:
+                        break
+                    budget -= 1
+                self.step()
+            if until is not None and until > self.now and not self._stopped:
+                self.now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to return after this event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) scheduled calls."""
+        return len(self._heap)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"

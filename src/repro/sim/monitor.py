@@ -1,0 +1,94 @@
+"""Tracing and metric collection for experiment harnesses."""
+
+from collections import defaultdict
+from typing import Any, Callable, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    """One trace entry: (simulated time, category string, payload dict)."""
+
+    time: float
+    category: str
+    payload: dict
+
+
+class Trace:
+    """An in-memory, filterable event recorder.
+
+    Components call :meth:`record`; experiment code pulls entries back out
+    with :meth:`select`.  Categories are free-form dotted strings, e.g.
+    ``"vmm.inject.net"`` or ``"egress.release"``.  Recording can be limited
+    to a category whitelist to keep long runs cheap.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 categories: Optional[set] = None):
+        self.enabled = enabled
+        self.categories = categories
+        self.records: List[TraceRecord] = []
+        self._subscribers: List[Callable] = []
+
+    def record(self, time: float, category: str, **payload: Any) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        entry = TraceRecord(time, category, payload)
+        self.records.append(entry)
+        for fn in self._subscribers:
+            fn(entry)
+
+    def subscribe(self, fn: Callable) -> None:
+        """Stream records to ``fn(record)`` as they are made."""
+        self._subscribers.append(fn)
+
+    def select(self, category: str, **filters: Any) -> List[TraceRecord]:
+        """Records in ``category`` whose payload matches every filter."""
+        out = []
+        for rec in self.records:
+            if rec.category != category:
+                continue
+            if all(rec.payload.get(k) == v for k, v in filters.items()):
+                out.append(rec)
+        return out
+
+    def times(self, category: str, **filters: Any) -> List[float]:
+        return [r.time for r in self.select(category, **filters)]
+
+    def count(self, category: str, **filters: Any) -> int:
+        return len(self.select(category, **filters))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class MetricSet:
+    """Simple counter/accumulator bag keyed by metric name."""
+
+    def __init__(self):
+        self.counters = defaultdict(int)
+        self.sums = defaultdict(float)
+        self.samples = defaultdict(list)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def add(self, name: str, amount: float) -> None:
+        self.sums[name] += amount
+
+    def observe(self, name: str, value: float) -> None:
+        self.samples[name].append(value)
+
+    def mean(self, name: str) -> float:
+        values = self.samples[name]
+        return sum(values) / len(values) if values else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "sums": dict(self.sums),
+            "sample_counts": {k: len(v) for k, v in self.samples.items()},
+        }

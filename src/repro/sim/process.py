@@ -1,0 +1,111 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator driven by the simulator.  It may yield:
+
+- a ``float``/``int`` -- sleep for that many simulated seconds;
+- any waitable (:class:`~repro.sim.events.Event` and friends) -- block
+  until it triggers; the waitable's value is returned from the ``yield``;
+- another :class:`Process` -- join it; the joined process's return value
+  is returned from the ``yield`` (its failure re-raises here as
+  :class:`~repro.sim.errors.ProcessFailed`).
+
+A process is itself a waitable, triggered at termination with the
+generator's return value.
+"""
+
+from repro.sim.errors import Interrupt, ProcessFailed, SimulationError
+from repro.sim.events import Event
+
+
+class Process(Event):
+    """A running simulated activity.  Create via ``sim.process(gen)``."""
+
+    _anonymous_counter = 0
+
+    def __init__(self, sim, generator, name=None):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        if name is None:
+            Process._anonymous_counter += 1
+            name = f"process-{Process._anonymous_counter}"
+        self.name = name
+        self._generator = generator
+        self._waiting_on = None
+        self._pending_interrupt = None
+        sim.call_soon(self._resume, None, None)
+
+    # -- public API ----------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait.
+
+        Interrupting a dead process is an error; interrupting a process
+        that already has a pending interrupt replaces the cause.
+        """
+        if not self.alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        self._pending_interrupt = Interrupt(cause)
+        waited = self._waiting_on
+        if waited is not None:
+            waited.remove_callback(self._wake)
+            self._waiting_on = None
+            self.sim.call_soon(self._resume, None, None)
+        # If _waiting_on is None the process is mid-step or about to be
+        # resumed; the pending interrupt will be delivered at that resume.
+
+    # -- driver ----------------------------------------------------------
+    def _wake(self, waitable) -> None:
+        self._waiting_on = None
+        if waitable.ok:
+            self._resume(waitable.value, None)
+        else:
+            self._resume(None, waitable.value)
+
+    def _resume(self, value, exception) -> None:
+        if self.triggered:
+            return
+        if self._pending_interrupt is not None:
+            exception, value = self._pending_interrupt, None
+            self._pending_interrupt = None
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        except Interrupt as unhandled:
+            # An interrupt the process chose not to handle kills it.
+            self.fail(unhandled)
+            return
+        except Exception as error:  # noqa: BLE001 - deliberate catch-all
+            self.fail(ProcessFailed(self, error))
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target) -> None:
+        if isinstance(target, (int, float)):
+            target = self.sim.timeout(target)
+        if not hasattr(target, "add_callback"):
+            self.sim.call_soon(
+                self._resume,
+                None,
+                SimulationError(
+                    f"process {self.name} yielded non-waitable {target!r}"
+                ),
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._wake)
+
+    def __repr__(self) -> str:
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

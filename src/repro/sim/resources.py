@@ -1,0 +1,102 @@
+"""Capacity-limited resources with FIFO queueing.
+
+Used to model contended hardware: a disk arm, a host CPU run queue, a
+dom0 device-model thread.  Acquire/release is explicit; the convenience
+generator :meth:`Resource.using` wraps a timed hold.
+"""
+
+from collections import deque
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Resource:
+    """``capacity`` concurrent holders; extra acquirers queue FIFO.
+
+    Utilisation statistics (busy time integral, queue-length integral) are
+    tracked so experiment harnesses can report contention.
+    """
+
+    def __init__(self, sim, capacity=1, name="resource"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters = deque()
+        self._last_change = sim.now
+        self._busy_integral = 0.0
+        self._queue_integral = 0.0
+        self.acquire_count = 0
+
+    # -- statistics ------------------------------------------------------
+    def _account(self) -> None:
+        dt = self.sim.now - self._last_change
+        self._busy_integral += dt * self.in_use
+        self._queue_integral += dt * len(self._waiters)
+        self._last_change = self.sim.now
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity in use since creation."""
+        self._account()
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+    def mean_queue_length(self) -> float:
+        self._account()
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self._queue_integral / elapsed
+
+    # -- acquire/release ---------------------------------------------------
+    def acquire(self) -> Event:
+        """Return a waitable that resolves when a slot is granted."""
+        self._account()
+        self.acquire_count += 1
+        event = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.trigger(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one held slot, handing it to the oldest waiter."""
+        self._account()
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name}")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.trigger(self)
+                return
+        self.in_use -= 1
+
+    def using(self, hold_time: float):
+        """Generator: acquire, hold for ``hold_time`` seconds, release.
+
+        Yield from inside a process::
+
+            yield from disk.using(access_time)
+        """
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(hold_time)
+        finally:
+            self.release()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name} {self.in_use}/{self.capacity} "
+            f"queued={len(self._waiters)}>"
+        )

@@ -1,0 +1,252 @@
+"""Distribution objects used throughout the StopWatch analysis.
+
+Every distribution exposes ``cdf(x)``, ``sample(rng)`` and ``mean()``.
+The exponential family mirrors the paper's running example (baseline
+``Exp(lambda)`` vs. victim ``Exp(lambda')``); :class:`MedianOfThree`
+composes three component distributions into the distribution of their
+median, which is the quantity StopWatch exposes to observers.
+"""
+
+import bisect
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+
+class Distribution:
+    """Abstract base: a real-valued distribution."""
+
+    def cdf(self, x: float) -> float:
+        raise NotImplementedError
+
+    def sample(self, rng) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected value; numeric integration fallback for subclasses that
+        do not override (assumes support in [lower, upper])."""
+        lower, upper = self.support()
+        xs = np.linspace(lower, upper, 20001)
+        cdf = np.array([self.cdf(x) for x in xs])
+        # E[X] = lower + integral of (1 - F) over [lower, upper] for
+        # distributions bounded below.
+        return lower + float(np.trapezoid(1.0 - cdf, xs))
+
+    def support(self):
+        """(lower, upper) with cdf(lower) ~ 0 and cdf(upper) ~ 1."""
+        return (0.0, self.quantile(1.0 - 1e-9))
+
+    def quantile(self, p: float) -> float:
+        """Inverse CDF by bisection on :meth:`cdf` (override when closed
+        form exists)."""
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile needs p in (0,1), got {p}")
+        low, high = 0.0, 1.0
+        while self.cdf(high) < p:
+            high *= 2.0
+            if high > 1e18:
+                raise ValueError("quantile search diverged")
+        for _ in range(200):
+            mid = 0.5 * (low + high)
+            if self.cdf(mid) < p:
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+    def samples(self, rng, n: int) -> List[float]:
+        return [self.sample(rng) for _ in range(n)]
+
+
+class Exponential(Distribution):
+    """``Exp(rate)``: the paper's model for inter-event timings."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+
+    def cdf(self, x: float) -> float:
+        if x <= 0:
+            return 0.0
+        return 1.0 - math.exp(-self.rate * x)
+
+    def quantile(self, p: float) -> float:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile needs p in (0,1), got {p}")
+        return -math.log(1.0 - p) / self.rate
+
+    def sample(self, rng) -> float:
+        return rng.expovariate(self.rate)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def __repr__(self) -> str:
+        return f"Exponential(rate={self.rate})"
+
+
+class Uniform(Distribution):
+    """``U(low, high)``: the classic timing-channel noise distribution."""
+
+    def __init__(self, low: float, high: float):
+        if high <= low:
+            raise ValueError(f"need high > low, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def cdf(self, x: float) -> float:
+        if x <= self.low:
+            return 0.0
+        if x >= self.high:
+            return 1.0
+        return (x - self.low) / (self.high - self.low)
+
+    def quantile(self, p: float) -> float:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile needs p in (0,1), got {p}")
+        return self.low + p * (self.high - self.low)
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def support(self):
+        return (self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class Shifted(Distribution):
+    """``X + offset`` for a base distribution ``X`` (e.g. X_{2:3} + Δn)."""
+
+    def __init__(self, base: Distribution, offset: float):
+        self.base = base
+        self.offset = offset
+
+    def cdf(self, x: float) -> float:
+        return self.base.cdf(x - self.offset)
+
+    def quantile(self, p: float) -> float:
+        return self.base.quantile(p) + self.offset
+
+    def sample(self, rng) -> float:
+        return self.base.sample(rng) + self.offset
+
+    def mean(self) -> float:
+        return self.base.mean() + self.offset
+
+    def support(self):
+        lower, upper = self.base.support()
+        return (lower + self.offset, upper + self.offset)
+
+    def __repr__(self) -> str:
+        return f"Shifted({self.base!r}, {self.offset})"
+
+
+class Sum(Distribution):
+    """``X + Y`` for independent X, Y (used for signal-plus-noise).
+
+    The CDF is computed by numeric convolution over Y's support::
+
+        P(X + Y <= x) = E_Y[ F_X(x - Y) ]
+    """
+
+    def __init__(self, x_dist: Distribution, y_dist: Distribution,
+                 grid_points: int = 2001):
+        self.x_dist = x_dist
+        self.y_dist = y_dist
+        y_low, y_high = y_dist.support()
+        self._ys = np.linspace(y_low, y_high, grid_points)
+        y_cdf = np.array([y_dist.cdf(y) for y in self._ys])
+        # probability mass of each grid cell of Y
+        self._weights = np.diff(y_cdf)
+        self._mids = 0.5 * (self._ys[1:] + self._ys[:-1])
+
+    def cdf(self, x: float) -> float:
+        values = np.array([self.x_dist.cdf(x - y) for y in self._mids])
+        total = float(self._weights.sum())
+        if total <= 0:
+            return self.x_dist.cdf(x - float(self._mids[0]))
+        return float(np.dot(values, self._weights) / total)
+
+    def sample(self, rng) -> float:
+        return self.x_dist.sample(rng) + self.y_dist.sample(rng)
+
+    def mean(self) -> float:
+        return self.x_dist.mean() + self.y_dist.mean()
+
+    def support(self):
+        x_low, x_high = self.x_dist.support()
+        y_low, y_high = self.y_dist.support()
+        return (x_low + y_low, x_high + y_high)
+
+    def __repr__(self) -> str:
+        return f"Sum({self.x_dist!r}, {self.y_dist!r})"
+
+
+class MedianOfThree(Distribution):
+    """Distribution of ``median(X1, X2, X3)`` for independent components.
+
+    This is exactly what a StopWatch replica (or the egress's external
+    observer) sees.  The CDF comes from the order-statistics identity
+    (appendix, Result 2.4 of Gungor et al.)::
+
+        F_{2:3}(x) = F1 F2 + F1 F3 + F2 F3 - 2 F1 F2 F3
+    """
+
+    def __init__(self, d1: Distribution, d2: Distribution, d3: Distribution):
+        self.components = (d1, d2, d3)
+
+    def cdf(self, x: float) -> float:
+        f1, f2, f3 = (d.cdf(x) for d in self.components)
+        return f1 * f2 + f1 * f3 + f2 * f3 - 2.0 * f1 * f2 * f3
+
+    def sample(self, rng) -> float:
+        draws = sorted(d.sample(rng) for d in self.components)
+        return draws[1]
+
+    def support(self):
+        lows, highs = zip(*(d.support() for d in self.components))
+        return (min(lows), max(highs))
+
+    def __repr__(self) -> str:
+        return f"MedianOfThree{self.components!r}"
+
+
+class Empirical(Distribution):
+    """A distribution estimated from observed samples (simulator traces)."""
+
+    def __init__(self, samples: Sequence[float]):
+        if len(samples) == 0:
+            raise ValueError("empirical distribution needs samples")
+        self._sorted = sorted(float(s) for s in samples)
+        self._n = len(self._sorted)
+
+    def cdf(self, x: float) -> float:
+        return bisect.bisect_right(self._sorted, x) / self._n
+
+    def quantile(self, p: float) -> float:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile needs p in (0,1), got {p}")
+        idx = min(self._n - 1, max(0, math.ceil(p * self._n) - 1))
+        return self._sorted[idx]
+
+    def sample(self, rng) -> float:
+        return self._sorted[rng.randrange(self._n)]
+
+    def mean(self) -> float:
+        return sum(self._sorted) / self._n
+
+    def support(self):
+        return (self._sorted[0], self._sorted[-1])
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={self._n})"

@@ -1,0 +1,92 @@
+"""Order statistics and the appendix theorems.
+
+Implements the general independent-but-not-identically-distributed
+order-statistic CDF (Gungor et al., Result 2.4, as used in the paper's
+appendix)::
+
+    F_{r:m}(x) = sum_{l=r}^{m} (-1)^{l-r} C(l-1, r-1)
+                 sum_{|I|=l} prod_{i in I} F_i(x)
+
+plus the Kolmogorov-Smirnov distance and numeric checks of appendix
+Theorems 3 and 4.
+"""
+
+import itertools
+from math import comb
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+CdfFn = Callable[[float], float]
+
+
+def order_statistic_cdf(cdfs: Sequence[CdfFn], r: int) -> CdfFn:
+    """CDF of the r-th smallest of independent draws, one per CDF in
+    ``cdfs`` (1-indexed r)."""
+    m = len(cdfs)
+    if not 1 <= r <= m:
+        raise ValueError(f"order {r} out of range for {m} variables")
+
+    def cdf(x: float) -> float:
+        values = [f(x) for f in cdfs]
+        total = 0.0
+        for l in range(r, m + 1):
+            sign = (-1) ** (l - r)
+            coefficient = comb(l - 1, r - 1)
+            subset_sum = 0.0
+            for subset in itertools.combinations(range(m), l):
+                product = 1.0
+                for i in subset:
+                    product *= values[i]
+                subset_sum += product
+            total += sign * coefficient * subset_sum
+        return min(1.0, max(0.0, total))
+
+    return cdf
+
+
+def median_of_three_cdf(f1: CdfFn, f2: CdfFn, f3: CdfFn) -> CdfFn:
+    """``F_{2:3}`` in closed form (cheaper than the general sum)::
+
+        F1 F2 + F1 F3 + F2 F3 - 2 F1 F2 F3
+    """
+
+    def cdf(x: float) -> float:
+        a, b, c = f1(x), f2(x), f3(x)
+        return a * b + a * c + b * c - 2.0 * a * b * c
+
+    return cdf
+
+
+def ks_distance(f: CdfFn, g: CdfFn, grid: Sequence[float]) -> float:
+    """``max_x |F(x) - G(x)|`` evaluated over ``grid``."""
+    if len(grid) == 0:
+        raise ValueError("ks_distance needs a non-empty grid")
+    return max(abs(f(x) - g(x)) for x in grid)
+
+
+def ks_distance_of_medians(f1: CdfFn, f1_victim: CdfFn, f2: CdfFn, f3: CdfFn,
+                           grid: Sequence[float]) -> float:
+    """``D(F_{2:3}, F'_{2:3})`` where the primed median replaces X1 with
+    the victim-influenced X'1 (the quantity bounded by Theorem 3)."""
+    med = median_of_three_cdf(f1, f2, f3)
+    med_victim = median_of_three_cdf(f1_victim, f2, f3)
+    return ks_distance(med, med_victim, grid)
+
+
+def theorem3_bound_factor(f2: CdfFn, f3: CdfFn,
+                          grid: Sequence[float]) -> float:
+    """``max_x |F2 + F3 - 2 F2 F3|`` -- the attenuation factor from the
+    proof of Theorem 3.
+
+    The theorem states ``D(F_{2:3}, F'_{2:3}) <= factor * D(F1, F'1)`` with
+    factor < 1 whenever F2, F3 overlap; Theorem 4 sharpens the factor to
+    exactly 1/2 when F2 = F3.
+    """
+    return max(abs(f2(x) + f3(x) - 2.0 * f2(x) * f3(x)) for x in grid)
+
+
+def default_grid(distributions, points: int = 2000) -> List[float]:
+    """A grid covering the union of the distributions' supports."""
+    lows, highs = zip(*(d.support() for d in distributions))
+    return list(np.linspace(min(lows), max(highs), points))

@@ -1,0 +1,30 @@
+"""The StopWatch VMM (hypervisor) layer.
+
+- :class:`ReplicaVMM` -- one replica's hypervisor: drives guest
+  execution in branch-count quanta, takes guest-execution VM exits,
+  injects timer/disk/network interrupts at virtual-time deadlines,
+  emits guest output through the egress node, and participates in the
+  replica pacing/epoch protocols.
+- :class:`ReplicaCoordination` -- the PGM-multicast channel among the
+  VMMs hosting one guest VM's replicas: delivery-time proposals (median
+  agreement), pacing progress reports, and epoch resynchronisation
+  samples.
+"""
+
+from repro.vmm.hypervisor import ReplicaVMM
+from repro.vmm.coordination import ReplicaCoordination
+from repro.vmm.replay import (
+    ExecutionRecorder,
+    ExecutionRecording,
+    ReplayEngine,
+    ReplayMismatch,
+)
+
+__all__ = [
+    "ReplicaVMM",
+    "ReplicaCoordination",
+    "ExecutionRecorder",
+    "ExecutionRecording",
+    "ReplayEngine",
+    "ReplayMismatch",
+]

@@ -1,0 +1,153 @@
+"""Inter-VMM coordination for one guest VM's replicas (Sec. V, VII-A).
+
+Each replica's VMM owns one :class:`ReplicaCoordination` instance.  All
+traffic rides a per-VM PGM multicast group among the replica hosts'
+dom0 endpoints.  Three message kinds:
+
+- ``("proposal", seq, replica_id, virt)`` -- proposed virtual delivery
+  time for inbound packet ``seq``; collected into a
+  :class:`~repro.core.median.MedianAgreement`, whose decision is handed
+  to the VMM.
+- ``("progress", replica_id, boundary)`` -- pacing: the sender reached
+  pacing boundary ``boundary``; the fastest replica stalls until enough
+  siblings are close behind (this enforces the paper's "maximum allowed
+  difference between the fastest two replicas' virtual times").
+- ``("epoch", k, replica_id, duration, real_time)`` -- a Sec. IV-A
+  epoch resynchronisation sample.
+"""
+
+from typing import Dict, List
+
+from repro.core.median import MedianAgreement
+from repro.core.virtual_time import EpochSample
+from repro.net.pgm import PgmReceiver, PgmSender
+
+
+class ReplicaCoordination:
+    """One replica's view of its VM's coordination group."""
+
+    def __init__(self, sim, vmm, host, sibling_addresses: Dict[int, str],
+                 lead_boundaries: int):
+        self.sim = sim
+        self.vmm = vmm
+        self.host = host
+        self.vm_name = vmm.vm_name
+        self.replica_id = vmm.replica_id
+        self.expected = len(sibling_addresses) + 1
+        self.lead_boundaries = max(1, lead_boundaries)
+
+        group = f"coord.{self.vm_name}"
+        members = [host.address] + list(sibling_addresses.values())
+        self.sender = PgmSender(host.node, group, members)
+        self.receiver = PgmReceiver(host.node, group)
+        for address in sibling_addresses.values():
+            self.receiver.subscribe(address, self._on_message)
+
+        self._agreements: Dict[int, MedianAgreement] = {}
+        self._packets: Dict[int, object] = {}
+        self.sibling_progress: Dict[int, int] = {
+            rid: -1 for rid in sibling_addresses
+        }
+        self._progress_waiters: List = []
+        self._epoch_samples: Dict[int, Dict[int, EpochSample]] = {}
+        self._epoch_waiters: Dict[int, List] = {}
+
+    # ------------------------------------------------------------------
+    # proposals / median agreement
+    # ------------------------------------------------------------------
+    def local_proposal(self, seq: int, packet, proposed_virt: float) -> None:
+        """This replica observed inbound packet ``seq``: buffer it, record
+        our own proposal, and multicast it to the siblings."""
+        self._packets[seq] = packet
+        self.sender.multicast(("proposal", seq, self.replica_id,
+                               proposed_virt))
+        self._feed(seq, self.replica_id, proposed_virt)
+
+    def _feed(self, seq: int, replica_id: int, proposed_virt: float) -> None:
+        agreement = self._agreements.get(seq)
+        if agreement is None:
+            agreement = MedianAgreement(seq, expected=self.expected)
+            self._agreements[seq] = agreement
+        agreement.propose(replica_id, proposed_virt)
+        if agreement.decided:
+            packet = self._packets.pop(seq)
+            del self._agreements[seq]
+            decision = agreement.decision(self.vmm.config.aggregation)
+            self.vmm.commit_network_delivery(seq, decision, packet)
+
+    # ------------------------------------------------------------------
+    # pacing
+    # ------------------------------------------------------------------
+    def report_progress(self, boundary: int) -> None:
+        self.sender.multicast(("progress", self.replica_id, boundary))
+
+    def can_proceed(self, boundary: int) -> bool:
+        """True unless this replica is too far ahead of its siblings.
+
+        Requires at least ``floor(expected/2)`` siblings within
+        ``lead_boundaries`` -- which keeps the median replica close to the
+        fastest, bounding the spread Δn must absorb.
+        """
+        need = self.expected // 2
+        if need == 0:
+            return True
+        progresses = sorted(self.sibling_progress.values(), reverse=True)
+        reference = progresses[need - 1]
+        return boundary - reference <= self.lead_boundaries
+
+    def wait_progress(self):
+        """A waitable triggered by the next progress report received."""
+        event = self.sim.event()
+        self._progress_waiters.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # epoch resynchronisation
+    # ------------------------------------------------------------------
+    def broadcast_epoch_sample(self, k: int, sample: EpochSample) -> None:
+        self.sender.multicast(("epoch", k, sample.replica_id,
+                               sample.duration, sample.real_time))
+        self._store_epoch(k, sample)
+
+    def _store_epoch(self, k: int, sample: EpochSample) -> None:
+        bucket = self._epoch_samples.setdefault(k, {})
+        bucket[sample.replica_id] = sample
+        if len(bucket) == self.expected:
+            for event in self._epoch_waiters.pop(k, []):
+                if not event.triggered:
+                    event.trigger()
+
+    def epoch_ready(self, k: int) -> bool:
+        return len(self._epoch_samples.get(k, {})) == self.expected
+
+    def epoch_samples(self, k: int) -> List[EpochSample]:
+        bucket = self._epoch_samples.pop(k, {})
+        return [bucket[rid] for rid in sorted(bucket)]
+
+    def wait_epoch(self, k: int):
+        event = self.sim.event()
+        self._epoch_waiters.setdefault(k, []).append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # inbound dispatch
+    # ------------------------------------------------------------------
+    def _on_message(self, message, seq: int) -> None:
+        kind = message[0]
+        if kind == "proposal":
+            _, pkt_seq, replica_id, proposed_virt = message
+            self._feed(pkt_seq, replica_id, proposed_virt)
+        elif kind == "progress":
+            _, replica_id, boundary = message
+            if boundary > self.sibling_progress.get(replica_id, -1):
+                self.sibling_progress[replica_id] = boundary
+            waiters, self._progress_waiters = self._progress_waiters, []
+            for event in waiters:
+                if not event.triggered:
+                    event.trigger()
+        elif kind == "epoch":
+            _, k, replica_id, duration, real_time = message
+            self._store_epoch(k, EpochSample(replica_id, duration,
+                                             real_time))
+        else:
+            raise ValueError(f"unknown coordination message kind {kind!r}")

@@ -1,0 +1,387 @@
+"""One replica's hypervisor: the execution engine and device models.
+
+The engine runs the guest in branch-count quanta.  VM exits caused by
+guest execution happen every ``exit_interval_branches`` branches; those
+exits are the **only** points where interrupts are injected (Sec. IV-B),
+which quantises all guest-visible event timing onto the guest's own
+progress -- exactly the paper's mechanism.
+
+Interrupt sources and their delivery disciplines (Sec. IV-V):
+
+- PIT timer: injected on the virtual-time schedule ``k / pit_hz``.
+- Disk/DMA: delivery at ``request_virt + Δd``; the physical access is
+  started immediately and must finish by then (violations are counted).
+- Network: the VMM proposes ``last_exit_virt + Δn``, the replicas'
+  median is adopted, delivery happens at the first guest-execution exit
+  whose virtual time passes the median.  A median that already passed
+  marks a divergence (synchrony violation, Sec. V-A footnote 4).
+
+With ``config.mediate = False`` the same engine models unmodified Xen:
+one replica, interrupts delivered as soon as the device model finishes
+(the engine is poked mid-quantum so baseline latency is not quantised),
+guest outputs sent directly.
+"""
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.config import StopWatchConfig
+from repro.core.virtual_time import EpochSample, VirtualClock
+from repro.machine.guest import GuestOS
+from repro.net.packet import Packet, ReplicaEnvelope
+from repro.sim.errors import Interrupt
+
+
+class _NetInjection:
+    __slots__ = ("seq", "packet", "delivery_virt")
+
+    def __init__(self, seq, packet, delivery_virt):
+        self.seq = seq
+        self.packet = packet
+        self.delivery_virt = delivery_virt
+
+
+class _DiskInjection:
+    __slots__ = ("request_id", "delivery_virt", "callback", "args", "ready")
+
+    def __init__(self, request_id, delivery_virt, callback, args):
+        self.request_id = request_id
+        self.delivery_virt = delivery_virt
+        self.callback = callback
+        self.args = args
+        self.ready = False
+
+
+class ReplicaVMM:
+    """The hypervisor instance for one replica of one guest VM."""
+
+    def __init__(self, sim, host, vm_name: str, replica_id: int,
+                 config: StopWatchConfig, workload_rng,
+                 egress_address: str = "egress"):
+        self.sim = sim
+        self.host = host
+        self.vm_name = vm_name
+        self.vm_address = f"vm:{vm_name}"
+        self.replica_id = replica_id
+        self.config = config
+        self.egress_address = egress_address
+        self.clock = VirtualClock(
+            start=0.0, slope=config.initial_slope,
+            slope_range=config.slope_range,
+            epoch_instructions=config.epoch_instructions,
+        )
+        self.instr = 0
+        self.last_exit_virt = 0.0
+        self.guest = GuestOS(self, workload_rng)
+        self.coordination = None  # wired by the cloud fabric when replicated
+
+        # injection state
+        self._pending_net = {}
+        self._net_seq_baseline = 0          # local seq counter (baseline)
+        self._next_net_delivery_seq = 0
+        self._net_commit_floor = 0.0        # FIFO clamp on delivery times
+        self._pending_disk = deque()
+
+        # timer state
+        self._next_pit_virt = config.pit_period_virtual
+        self.pit_ticks = 0
+
+        # output state
+        self._out_seq = 0
+
+        # engine state
+        self.running = False
+        self.failed = False
+        self._engine_proc = None
+        self._sleeping = False
+        self._epoch_start_real = 0.0
+        self._spb = 1.0 / config.base_branch_rate
+
+        # optional observation hooks (used by the record/replay facility)
+        self.on_net_delivery = None    # fn(seq, instr, packet)
+        self.on_disk_delivery = None   # fn(request_id, instr)
+        self.on_tick = None            # fn(tick_index, instr)
+        self.on_output = None          # fn(seq, instr, packet)
+        self.on_epoch = None           # fn(epoch_index, samples)
+
+        self.stats = {
+            "vm_exits": 0,
+            "net_interrupts": 0,
+            "disk_interrupts": 0,
+            "timer_interrupts": 0,
+            "divergences": 0,
+            "delta_d_waits": 0,
+            "pacing_stalls": 0,
+            "pacing_stall_time": 0.0,
+            "outputs": 0,
+        }
+        host.attach_vmm(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._epoch_start_real = self.sim.now
+        self._engine_proc = self.sim.process(
+            self._engine(),
+            name=f"vmm.{self.vm_name}.r{self.replica_id}")
+
+    def stop(self) -> None:
+        self.running = False
+
+    def fail(self) -> None:
+        """Simulate the replica host dying: the engine halts and the
+        device model stops observing packets and making proposals.
+        Siblings' median agreements for subsequent packets can then
+        never complete -- the availability cost Sec. V-A's recovery
+        footnote addresses."""
+        self.failed = True
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # guest-facing API (called synchronously from guest events)
+    # ------------------------------------------------------------------
+    def current_virt(self) -> float:
+        return self.clock.time_at(self.instr)
+
+    def notify_guest_event(self) -> None:
+        # Guest events are only created while the engine is awake (guest
+        # code runs inside engine steps), so no poke is needed; the engine
+        # recomputes its next target after every step.
+        pass
+
+    def guest_output(self, packet: Packet) -> None:
+        """Guest emitted a packet at the current instruction count."""
+        seq = self._out_seq
+        self._out_seq += 1
+        self.stats["outputs"] += 1
+        if self.on_output is not None:
+            self.on_output(seq, self.instr, packet)
+        self.host.dom0.submit(self.config.dom0_output_cost,
+                              self._emit_output, seq, packet)
+
+    def _emit_output(self, seq: int, packet: Packet) -> None:
+        self.sim.trace.record(self.sim.now, "vmm.emit", vm=self.vm_name,
+                              replica=self.replica_id, seq=seq)
+        if self.config.egress_enabled:
+            envelope = ReplicaEnvelope(vm=self.vm_name, direction="out",
+                                       seq=seq, inner=packet,
+                                       replica_id=self.replica_id)
+            self.host.node.send_packet(Packet(
+                src=self.host.address, dst=self.egress_address,
+                protocol="replica-out", payload=envelope,
+                size=envelope.wire_size(),
+            ))
+        else:
+            self.host.node.network.send(packet)
+
+    def request_disk(self, blocks: int, fn: Callable, args: tuple,
+                     write: bool) -> None:
+        """Guest issued a disk/DMA request at the current virtual time."""
+        request_virt = self.current_virt()
+        delivery_virt = (request_virt + self.config.delta_disk
+                         if self.config.mediate else None)
+        request_id = len(self._pending_disk) + self.stats["disk_interrupts"]
+        injection = _DiskInjection(request_id, delivery_virt, fn, args)
+        self.sim.trace.record(self.sim.now, "vmm.disk.request",
+                              vm=self.vm_name, replica=self.replica_id,
+                              req=request_id, write=write)
+        self._pending_disk.append(injection)
+        self.host.dom0.submit(self.config.dom0_disk_cost,
+                              self._start_disk_access, blocks, injection)
+
+    def _start_disk_access(self, blocks: int,
+                           injection: _DiskInjection) -> None:
+        self.host.disk.request(blocks, self._disk_ready, injection)
+
+    def _disk_ready(self, injection: _DiskInjection) -> None:
+        injection.ready = True
+        if not self.config.mediate:
+            self._poke()
+
+    # ------------------------------------------------------------------
+    # inbound network path (called by the host device model / fabric)
+    # ------------------------------------------------------------------
+    def observe_inbound(self, seq: Optional[int], packet: Packet) -> None:
+        """The dom0 device model finished processing an inbound packet.
+
+        Under StopWatch ``seq`` is the ingress-assigned sequence number;
+        under the baseline it is ignored and a local counter is used.
+        """
+        if self.failed:
+            return
+        if not self.config.mediate or self.coordination is None:
+            local_seq = self._net_seq_baseline
+            self._net_seq_baseline += 1
+            self._pending_net[local_seq] = _NetInjection(
+                local_seq, packet, float("-inf"))
+            self._poke()
+            return
+        proposal = self.last_exit_virt + self.config.delta_net
+        self.sim.trace.record(self.sim.now, "vmm.propose", vm=self.vm_name,
+                              replica=self.replica_id, seq=seq,
+                              proposal=proposal)
+        self.coordination.local_proposal(seq, packet, proposal)
+
+    def commit_network_delivery(self, seq: int, median_virt: float,
+                                packet: Packet) -> None:
+        """The median proposal for packet ``seq`` was decided."""
+        delivery = max(median_virt, self._net_commit_floor)
+        self._net_commit_floor = delivery
+        if median_virt < self.last_exit_virt:
+            # the chosen median already passed here: synchrony violated
+            self.stats["divergences"] += 1
+            self.sim.trace.record(self.sim.now, "vmm.divergence",
+                                  vm=self.vm_name, replica=self.replica_id,
+                                  seq=seq)
+        self._pending_net[seq] = _NetInjection(seq, packet, delivery)
+
+    # ------------------------------------------------------------------
+    # the execution engine
+    # ------------------------------------------------------------------
+    def _poke(self) -> None:
+        """Wake the engine mid-quantum (baseline immediate injection)."""
+        if self._sleeping and self._engine_proc is not None \
+                and self._engine_proc.alive:
+            self._sleeping = False
+            self._engine_proc.interrupt("inject")
+
+    def _engine(self):
+        config = self.config
+        exit_interval = config.exit_interval_branches
+        pacing_interval = config.pacing_interval_branches
+        paced = config.mediate and self.coordination is not None
+        while self.running:
+            target = ((self.instr // exit_interval) + 1) * exit_interval
+            if paced:
+                next_pace = ((self.instr // pacing_interval) + 1) \
+                    * pacing_interval
+                target = min(target, next_pace)
+            epoch_boundary = self.clock.next_epoch_boundary()
+            if epoch_boundary is not None and self.instr < epoch_boundary:
+                target = min(target, epoch_boundary)
+            guest_event = self.guest.next_event_instr()
+            if guest_event is not None and guest_event < target:
+                target = max(guest_event, self.instr)
+
+            branches = target - self.instr
+            if branches > 0:
+                duration = branches * self._spb \
+                    * self.host.slowdown_factor()
+                started, base_instr = self.sim.now, self.instr
+                self._sleeping = True
+                try:
+                    yield self.sim.timeout(duration)
+                except Interrupt:
+                    # baseline-mode immediate injection: exit right here
+                    elapsed = self.sim.now - started
+                    fraction = 1.0
+                    if duration > 0:
+                        fraction = min(1.0, max(0.0, elapsed / duration))
+                    self.instr = base_instr + int(branches * fraction)
+                    self.guest.run_due_events(self.instr)
+                    self._vm_exit()
+                    continue
+                self._sleeping = False
+                self.instr = target
+
+            self.guest.run_due_events(self.instr)
+            if self.instr % exit_interval == 0 and self.instr > 0:
+                self._vm_exit()
+            if paced and self.instr % pacing_interval == 0 and self.instr > 0:
+                yield from self._pacing_barrier()
+            if epoch_boundary is not None and self.instr == epoch_boundary:
+                yield from self._epoch_barrier()
+
+    # ------------------------------------------------------------------
+    # VM exit processing
+    # ------------------------------------------------------------------
+    def _vm_exit(self) -> None:
+        virt = self.clock.time_at(self.instr)
+        self.last_exit_virt = virt
+        self.stats["vm_exits"] += 1
+        config = self.config
+
+        if config.timer_interrupts:
+            while self._next_pit_virt <= virt:
+                self.pit_ticks += 1
+                self.stats["timer_interrupts"] += 1
+                if self.on_tick is not None:
+                    self.on_tick(self.pit_ticks, self.instr)
+                self.guest.deliver_tick(self.pit_ticks)
+                self._next_pit_virt += config.pit_period_virtual
+
+        while self._pending_disk:
+            head = self._pending_disk[0]
+            due = head.delivery_virt is None or head.delivery_virt <= virt
+            if not due:
+                break
+            if not head.ready:
+                # Δd too small for this access: the data is not in the
+                # buffer yet; the interrupt waits for a later exit.
+                self.stats["delta_d_waits"] += 1
+                break
+            self._pending_disk.popleft()
+            self.stats["disk_interrupts"] += 1
+            self.sim.trace.record(self.sim.now, "vmm.deliver.disk",
+                                  vm=self.vm_name, replica=self.replica_id,
+                                  req=head.request_id, virt=virt)
+            if self.on_disk_delivery is not None:
+                self.on_disk_delivery(head.request_id, self.instr)
+            head.callback(*head.args)
+
+        while True:
+            injection = self._pending_net.get(self._next_net_delivery_seq)
+            if injection is None or injection.delivery_virt > virt:
+                break
+            del self._pending_net[self._next_net_delivery_seq]
+            self._next_net_delivery_seq += 1
+            self.stats["net_interrupts"] += 1
+            self.sim.trace.record(self.sim.now, "vmm.deliver.net",
+                                  vm=self.vm_name, replica=self.replica_id,
+                                  seq=injection.seq, virt=virt)
+            if self.on_net_delivery is not None:
+                self.on_net_delivery(injection.seq, self.instr,
+                                     injection.packet)
+            self.guest.deliver_packet(injection.packet)
+
+    # ------------------------------------------------------------------
+    # barriers
+    # ------------------------------------------------------------------
+    def _pacing_barrier(self):
+        boundary = self.instr // self.config.pacing_interval_branches
+        self.coordination.report_progress(boundary)
+        stalled_at = None
+        while self.running and not self.coordination.can_proceed(boundary):
+            if stalled_at is None:
+                stalled_at = self.sim.now
+                self.stats["pacing_stalls"] += 1
+            yield self.coordination.wait_progress()
+        if stalled_at is not None:
+            self.stats["pacing_stall_time"] += self.sim.now - stalled_at
+
+    def _epoch_barrier(self):
+        k = self.clock.epoch_index
+        sample = EpochSample(self.replica_id,
+                             self.sim.now - self._epoch_start_real,
+                             self.sim.now)
+        if self.coordination is None:
+            samples = [sample]
+        else:
+            self.coordination.broadcast_epoch_sample(k, sample)
+            while self.running and not self.coordination.epoch_ready(k):
+                yield self.coordination.wait_epoch(k)
+            if not self.running:
+                return
+            samples = self.coordination.epoch_samples(k)
+        if self.on_epoch is not None:
+            self.on_epoch(k, samples)
+        self.clock.apply_epoch_resync(samples)
+        self._epoch_start_real = self.sim.now
+
+    def __repr__(self) -> str:
+        return (f"<ReplicaVMM {self.vm_name} r{self.replica_id} "
+                f"instr={self.instr}>")

@@ -1,0 +1,45 @@
+"""Guest workloads and their client-side drivers.
+
+A *guest workload* is a deterministic, callback-driven program
+instantiated once per replica against a
+:class:`~repro.machine.guest.GuestOS`.  The factory convention::
+
+    cloud.create_vm("web", lambda guest: FileServer(guest))
+
+- :mod:`repro.workloads.echo` -- UDP echo / ping responder (used by the
+  side-channel experiments as the attacker's observable event source).
+- :mod:`repro.workloads.fileserver` -- HTTP-style file download over
+  TCP, and a NAK-reliable UDP file service (Fig. 5), plus client-side
+  download drivers.
+- :mod:`repro.workloads.nfs` -- an NFS server model and an
+  nhfsstone-style load generator (Fig. 6).
+- :mod:`repro.workloads.parsec` -- five PARSEC-representative compute
+  kernels with calibrated compute/disk plans (Fig. 7).
+"""
+
+from repro.workloads.base import GuestWorkload
+from repro.workloads.echo import EchoServer, PingClient
+from repro.workloads.fileserver import (
+    FileServer,
+    HttpDownloader,
+    UdpFileServer,
+    UdpDownloader,
+)
+from repro.workloads.nfs import (
+    NFS_OPERATION_MIX,
+    NfsServer,
+    NhfsstoneClient,
+)
+
+__all__ = [
+    "GuestWorkload",
+    "EchoServer",
+    "PingClient",
+    "FileServer",
+    "HttpDownloader",
+    "UdpFileServer",
+    "UdpDownloader",
+    "NFS_OPERATION_MIX",
+    "NfsServer",
+    "NhfsstoneClient",
+]

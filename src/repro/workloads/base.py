@@ -1,0 +1,24 @@
+"""Workload conventions and the common base class."""
+
+
+class GuestWorkload:
+    """Base class for guest workloads.
+
+    Subclasses receive the replica's :class:`~repro.machine.guest.GuestOS`
+    and implement :meth:`start`, which runs as the guest's first event at
+    instruction 0.  Everything a workload does must flow through the
+    guest interface (``compute``, ``schedule``, ``disk_read``/``write``,
+    protocol stacks over ``send_packet``) so that replicas stay
+    deterministic.
+    """
+
+    def __init__(self, guest):
+        self.guest = guest
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def rng(self):
+        """The workload RNG -- identical stream on every replica."""
+        return self.guest.rng

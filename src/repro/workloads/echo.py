@@ -1,0 +1,96 @@
+"""UDP echo service and a pinging client.
+
+The attacker-side experiments (Fig. 4, covert channels) need a steady
+stream of observable I/O events at a guest.  The classic setup: the
+guest runs an echo responder; a colluding external client pings it; the
+guest observes network-interrupt timings (its IO clock).
+"""
+
+from typing import Callable, List, Optional
+
+from repro.net.udp import UdpStack
+from repro.workloads.base import GuestWorkload
+
+ECHO_PORT = 7
+
+
+class EchoServer(GuestWorkload):
+    """Echoes every datagram after a fixed compute cost.
+
+    The guest-side observation hook ``on_request(virtual_time, tag)``
+    lets an attacker workload timestamp its own network interrupts in
+    virtual time -- the IO-clock measurements StopWatch mediates.
+    """
+
+    def __init__(self, guest, compute_branches: int = 20000,
+                 on_request: Optional[Callable] = None):
+        super().__init__(guest)
+        self.compute_branches = compute_branches
+        self.on_request = on_request
+        self.udp = UdpStack(guest)
+        self.request_virts: List[float] = []
+
+    def start(self) -> None:
+        self.udp.bind(ECHO_PORT, self._on_datagram)
+
+    def _on_datagram(self, datagram, src: str) -> None:
+        virt = self.guest.now()
+        self.request_virts.append(virt)
+        if self.on_request is not None:
+            self.on_request(virt, datagram.tag)
+        self.guest.compute(self.compute_branches, self._reply, src, datagram)
+
+    def _reply(self, src: str, datagram) -> None:
+        self.udp.send(src, ECHO_PORT, datagram.src_port,
+                      datagram.data_len, tag=datagram.tag)
+
+    def inter_arrival_virts(self) -> List[float]:
+        """Virtual inter-packet delivery times (the Fig. 4 observable)."""
+        times = self.request_virts
+        return [b - a for a, b in zip(times, times[1:])]
+
+
+class PingClient:
+    """External client sending a paced datagram stream at a guest.
+
+    ``spacing_fn(rng)`` draws each inter-ping gap (seconds); default is
+    exponential with the given mean, matching the paper's modelling of
+    packet inter-arrivals.
+    """
+
+    def __init__(self, client_node, target_addr: str,
+                 mean_interval: float = 0.020,
+                 spacing_fn: Optional[Callable] = None,
+                 local_port: int = 9100):
+        self.node = client_node
+        self.target_addr = target_addr
+        self.mean_interval = mean_interval
+        self.spacing_fn = spacing_fn
+        self.udp = UdpStack(client_node)
+        self.udp.bind(local_port, self._on_reply)
+        self.local_port = local_port
+        self.sent = 0
+        self.reply_times: List[float] = []
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._send_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _send_next(self) -> None:
+        if not self._running:
+            return
+        self.udp.send(self.target_addr, self.local_port, ECHO_PORT,
+                      data_len=64, tag=self.sent)
+        self.sent += 1
+        if self.spacing_fn is not None:
+            gap = self.spacing_fn(self.node.rng)
+        else:
+            gap = self.node.rng.expovariate(1.0 / self.mean_interval)
+        self.node.schedule(gap, self._send_next)
+
+    def _on_reply(self, datagram, src: str) -> None:
+        self.reply_times.append(self.node.now())

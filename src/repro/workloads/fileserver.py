@@ -1,0 +1,260 @@
+"""File download services (Fig. 5).
+
+Two server flavours on the same disk-backed file model:
+
+- :class:`FileServer` -- HTTP-style over TCP.  A GET names a file size;
+  the server reads it from disk in chunks (cold cache, as in the paper)
+  and streams it down the connection.  Inbound TCP ACKs are what Δn
+  taxes.
+- :class:`UdpFileServer` -- the Sec. VII-C alternative: data over UDP
+  paced by the server, reliability via client NAKs, so almost nothing
+  flows inbound and StopWatch's per-inbound-packet cost vanishes.
+
+Client-side drivers (:class:`HttpDownloader`, :class:`UdpDownloader`)
+run on external client nodes and record retrieval latencies.
+"""
+
+import math
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.net.tcp import TcpConfig, TcpStack
+from repro.net.udp import UdpStack
+from repro.workloads.base import GuestWorkload
+
+HTTP_PORT = 80
+UDP_FILE_PORT = 6000
+DISK_BLOCK = 4096
+#: blocks fetched per disk request (readahead window)
+BLOCKS_PER_READ = 64
+UDP_CHUNK = 1400
+
+
+class FileServer(GuestWorkload):
+    """HTTP-style file server: request ("GET", size) -> size-byte reply."""
+
+    def __init__(self, guest, port: int = HTTP_PORT,
+                 request_compute: int = 30000,
+                 chunk_compute: int = 8000):
+        super().__init__(guest)
+        self.port = port
+        self.request_compute = request_compute
+        self.chunk_compute = chunk_compute
+        # servers disable Nagle (TCP_NODELAY), as Apache does, to avoid
+        # the Nagle/delayed-ACK stall on the tail of each response
+        self.tcp = TcpStack(guest, TcpConfig(nagle=False))
+        self.requests_served = 0
+
+    def start(self) -> None:
+        self.tcp.listen(self.port, self._on_connection)
+
+    def _on_connection(self, conn) -> None:
+        conn.on_message = lambda tag, end: self._on_request(conn, tag)
+        conn.on_close = conn.close  # mirror the client's close
+
+    def _on_request(self, conn, tag) -> None:
+        verb, size = tag
+        if verb != "GET" or size <= 0:
+            return
+        self.guest.compute(self.request_compute, self._serve, conn, size, 0)
+
+    def _serve(self, conn, size: int, offset: int) -> None:
+        """Read the next chunk from disk, send it, recurse."""
+        remaining = size - offset
+        if remaining <= 0:
+            self.requests_served += 1
+            return
+        chunk = min(remaining, BLOCKS_PER_READ * DISK_BLOCK)
+        blocks = max(1, math.ceil(chunk / DISK_BLOCK))
+        self.guest.disk_read(blocks, self._on_chunk_read, conn, size,
+                             offset, chunk)
+
+    def _on_chunk_read(self, conn, size: int, offset: int,
+                       chunk: int) -> None:
+        last = offset + chunk >= size
+        tag = ("FILE", size) if last else None
+        self.guest.compute(
+            self.chunk_compute,
+            lambda: (conn.send_message(chunk, tag=tag),
+                     self._serve(conn, size, offset + chunk)))
+
+
+class HttpDownloader:
+    """Client driver: downloads files over TCP and records latencies."""
+
+    def __init__(self, client_node, server_addr: str,
+                 port: int = HTTP_PORT):
+        self.node = client_node
+        self.server_addr = server_addr
+        self.port = port
+        self.tcp = TcpStack(client_node)
+        self.latencies: List[float] = []
+
+    def download(self, size: int,
+                 on_done: Optional[Callable] = None) -> None:
+        """Fetch a ``size``-byte file; latency covers connect-to-last-byte."""
+        started = self.node.now()
+        conn = self.tcp.connect(self.server_addr, self.port)
+
+        def on_message(tag, end):
+            if tag is not None and tag[0] == "FILE":
+                latency = self.node.now() - started
+                self.latencies.append(latency)
+                conn.close()
+                if on_done is not None:
+                    on_done(latency)
+
+        conn.on_message = on_message
+        conn.on_connect = lambda: conn.send_message(
+            200, tag=("GET", size))
+
+
+class UdpFileServer(GuestWorkload):
+    """UDP file service with NAK-based reliability (Sec. VII-C).
+
+    The server paces datagrams on its virtual clock at ``pace_bps``.  A
+    trailing END datagram carries the chunk count; the client NAKs any
+    gaps afterwards.
+    """
+
+    def __init__(self, guest, port: int = UDP_FILE_PORT,
+                 pace_bps: float = 80e6,
+                 request_compute: int = 30000):
+        super().__init__(guest)
+        self.port = port
+        self.pace_interval = UDP_CHUNK * 8.0 / pace_bps
+        self.request_compute = request_compute
+        self.udp = UdpStack(guest)
+        self._transfers: Dict[tuple, dict] = {}
+
+    def start(self) -> None:
+        self.udp.bind(self.port, self._on_datagram)
+
+    def _on_datagram(self, datagram, src: str) -> None:
+        kind = datagram.tag[0]
+        if kind == "GET":
+            _, size, transfer_id = datagram.tag
+            key = (src, datagram.src_port, transfer_id)
+            chunks = max(1, math.ceil(size / UDP_CHUNK))
+            self._transfers[key] = {"size": size, "chunks": chunks}
+            self.guest.compute(self.request_compute, self._read_and_send,
+                               key, src, datagram.src_port, transfer_id, 0)
+        elif kind == "NAK":
+            _, transfer_id, missing = datagram.tag
+            key = (src, datagram.src_port, transfer_id)
+            if key in self._transfers:
+                for seq in missing:
+                    self._send_chunk(src, datagram.src_port, transfer_id,
+                                     seq, self._transfers[key]["chunks"])
+
+    def _read_and_send(self, key, src, client_port, transfer_id,
+                       next_chunk: int) -> None:
+        """Disk-read a window, then pace its datagrams out."""
+        state = self._transfers[key]
+        total = state["chunks"]
+        if next_chunk >= total:
+            self.udp.send(src, self.port, client_port, 32,
+                          tag=("END", transfer_id, total))
+            return
+        window = min(total - next_chunk,
+                     (BLOCKS_PER_READ * DISK_BLOCK) // UDP_CHUNK)
+        blocks = max(1, math.ceil(window * UDP_CHUNK / DISK_BLOCK))
+        self.guest.disk_read(blocks, self._send_window, key, src,
+                             client_port, transfer_id, next_chunk, window)
+
+    def _send_window(self, key, src, client_port, transfer_id,
+                     next_chunk: int, window: int) -> None:
+        state = self._transfers[key]
+        total = state["chunks"]
+
+        def send_one(i: int) -> None:
+            if i >= window:
+                self._read_and_send(key, src, client_port, transfer_id,
+                                    next_chunk + window)
+                return
+            self._send_chunk(src, client_port, transfer_id,
+                             next_chunk + i, total)
+            self.guest.schedule(self.pace_interval, send_one, i + 1)
+
+        send_one(0)
+
+    def _send_chunk(self, src, client_port, transfer_id, seq: int,
+                    total: int) -> None:
+        self.udp.send(src, self.port, client_port, UDP_CHUNK,
+                      tag=("DATA", transfer_id, seq, total))
+
+
+class UdpDownloader:
+    """Client driver for the UDP file service."""
+
+    def __init__(self, client_node, server_addr: str,
+                 port: int = UDP_FILE_PORT, local_port: int = 9400,
+                 nak_delay: float = 0.030):
+        self.node = client_node
+        self.server_addr = server_addr
+        self.port = port
+        self.local_port = local_port
+        self.nak_delay = nak_delay
+        self.udp = UdpStack(client_node)
+        self.udp.bind(local_port, self._on_datagram)
+        self.latencies: List[float] = []
+        self._next_transfer = 0
+        self._active: Dict[int, dict] = {}
+
+    def download(self, size: int,
+                 on_done: Optional[Callable] = None) -> None:
+        transfer_id = self._next_transfer
+        self._next_transfer += 1
+        self._active[transfer_id] = {
+            "started": self.node.now(),
+            "received": set(),
+            "total": None,
+            "on_done": on_done,
+        }
+        self.udp.send(self.server_addr, self.local_port, self.port, 64,
+                      tag=("GET", size, transfer_id))
+
+    def _on_datagram(self, datagram, src: str) -> None:
+        kind = datagram.tag[0]
+        if kind == "DATA":
+            _, transfer_id, seq, total = datagram.tag
+            state = self._active.get(transfer_id)
+            if state is None:
+                return
+            state["received"].add(seq)
+            state["total"] = total
+            self._check_complete(transfer_id)
+        elif kind == "END":
+            _, transfer_id, total = datagram.tag
+            state = self._active.get(transfer_id)
+            if state is None:
+                return
+            state["total"] = total
+            self._check_complete(transfer_id)
+            if transfer_id in self._active:
+                self.node.schedule(self.nak_delay, self._send_naks,
+                                   transfer_id)
+
+    def _missing(self, state) -> List[int]:
+        return [seq for seq in range(state["total"])
+                if seq not in state["received"]]
+
+    def _check_complete(self, transfer_id: int) -> None:
+        state = self._active.get(transfer_id)
+        if state is None or state["total"] is None:
+            return
+        if len(state["received"]) >= state["total"]:
+            del self._active[transfer_id]
+            latency = self.node.now() - state["started"]
+            self.latencies.append(latency)
+            if state["on_done"] is not None:
+                state["on_done"](latency)
+
+    def _send_naks(self, transfer_id: int) -> None:
+        state = self._active.get(transfer_id)
+        if state is None:
+            return
+        missing = self._missing(state)
+        if missing:
+            self.udp.send(self.server_addr, self.local_port, self.port, 64,
+                          tag=("NAK", transfer_id, tuple(missing[:64])))
+            self.node.schedule(self.nak_delay, self._send_naks, transfer_id)

@@ -1,0 +1,241 @@
+"""NFS server model and nhfsstone-style load generator (Fig. 6).
+
+The paper drove an NFSv4 server (over TCP) with ``nhfsstone``: five
+client processes issuing a fixed operation mix at a constant aggregate
+rate, 25-400 ops/s.  The mix below is the one extracted in Sec. VII-C.
+
+Server behaviour per operation is modelled from classic NFS servers:
+metadata reads (lookup/getattr) usually hit the attribute cache and
+cost only CPU; reads hit the buffer cache with some probability and the
+disk otherwise; writes and creates are synchronous (NFSv4 stable
+writes) and always touch the disk.
+"""
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.tcp import TcpConfig, TcpStack
+from repro.workloads.base import GuestWorkload
+
+NFS_PORT = 2049
+
+#: (operation, fraction) -- the paper's extracted mix (Sec. VII-C fn. 6).
+NFS_OPERATION_MIX: List[Tuple[str, float]] = [
+    ("setattr", 0.1137),
+    ("lookup", 0.2407),
+    ("write", 0.1192),
+    ("getattr", 0.0793),
+    ("read", 0.3234),
+    ("create", 0.1237),
+]
+
+#: per-op behaviour: (compute_branches, disk_blocks, is_write,
+#:                    disk_probability, reply_bytes)
+OPERATION_PROFILE: Dict[str, tuple] = {
+    "setattr": (30000, 2, True, 0.60, 128),
+    "lookup": (25000, 4, False, 0.15, 160),
+    "write": (40000, 16, True, 0.50, 128),   # journal/NVRAM coalescing
+    "getattr": (15000, 2, False, 0.10, 128),
+    "read": (30000, 16, False, 0.25, 8192),  # buffer-cache hits
+    "create": (50000, 8, True, 0.80, 160),
+}
+
+REQUEST_BYTES = 120
+
+
+#: the pre-populated export used in filesystem-backed mode
+EXPORT_FILES = 200
+EXPORT_FILE_BYTES = 16 * 1024
+IO_BYTES = 8192
+
+
+class NfsServer(GuestWorkload):
+    """NFS-over-TCP server guest workload.
+
+    Two modes:
+
+    - the default *profile* mode reproduces the paper's measured per-op
+      behaviour statistically (calibrated compute/disk costs) -- this is
+      what the Fig. 6 benchmark uses;
+    - ``filesystem=True`` executes every operation for real against a
+      deterministic in-guest :class:`~repro.machine.fs.SimpleFileSystem`
+      (journalled metadata, LRU buffer cache, write-behind data), so
+      replicas hold bit-identical trees -- the replicated-disk-image
+      claim made executable.
+    """
+
+    def __init__(self, guest, port: int = NFS_PORT,
+                 filesystem: bool = False,
+                 cache_blocks: int = 2048):
+        super().__init__(guest)
+        self.port = port
+        # NFS servers run with Nagle disabled (rpc over TCP sets
+        # TCP_NODELAY) -- replies must not stall behind delayed ACKs
+        self.tcp = TcpStack(guest, TcpConfig(nagle=False))
+        self.ops_served = 0
+        self.ops_by_type: Dict[str, int] = {}
+        self.fs = None
+        if filesystem:
+            from repro.machine.fs import SimpleFileSystem
+            self.fs = SimpleFileSystem(guest, cache_blocks=cache_blocks)
+
+    def start(self) -> None:
+        if self.fs is not None:
+            # the replicated disk image arrives pre-populated
+            self.fs.preload_file("/export/.sentinel", 0)
+            for index in range(EXPORT_FILES):
+                self.fs.preload_file(f"/export/f{index}",
+                                     EXPORT_FILE_BYTES)
+        self.tcp.listen(self.port, self._on_connection)
+
+    def _on_connection(self, conn) -> None:
+        conn.on_message = lambda tag, end: self._on_request(conn, tag)
+        conn.on_close = conn.close
+
+    def _on_request(self, conn, tag) -> None:
+        op, op_id, path, offset = tag
+        profile = OPERATION_PROFILE.get(op)
+        if profile is None:
+            return
+        compute, blocks, is_write, disk_prob, reply_bytes = profile
+        self.guest.compute(compute, self._after_compute, conn, op, op_id,
+                           path, offset, blocks, is_write, disk_prob,
+                           reply_bytes)
+
+    def _after_compute(self, conn, op, op_id, path, offset, blocks,
+                       is_write, disk_prob, reply_bytes) -> None:
+        if self.fs is not None:
+            self._execute_fs(conn, op, op_id, path, offset, reply_bytes)
+            return
+        # profile mode: the workload RNG is replica-identical, so
+        # simulated cache hits are too
+        needs_disk = self.rng.random() < disk_prob
+        if needs_disk and is_write:
+            self.guest.disk_write(blocks, self._reply, conn, op, op_id,
+                                  reply_bytes)
+        elif needs_disk:
+            self.guest.disk_read(blocks, self._reply, conn, op, op_id,
+                                 reply_bytes)
+        else:
+            self._reply(conn, op, op_id, reply_bytes)
+
+    def _execute_fs(self, conn, op, op_id, path, offset,
+                    reply_bytes) -> None:
+        done = lambda *_args: self._reply(conn, op, op_id, reply_bytes)  # noqa: E731
+        if op == "lookup":
+            self.fs.lookup(path)
+            done()
+        elif op == "getattr":
+            self.fs.getattr(path)
+            done()
+        elif op == "read":
+            self.fs.read(path, offset, IO_BYTES, done)
+        elif op == "write":
+            self.fs.write(path, offset, IO_BYTES, done)
+        elif op == "setattr":
+            self.fs.setattr(path, done, mode=0o640)
+        elif op == "create":
+            self.fs.create(f"/export/c{op_id}", done)
+        else:
+            done()
+
+    def _reply(self, conn, op, op_id, reply_bytes) -> None:
+        self.ops_served += 1
+        self.ops_by_type[op] = self.ops_by_type.get(op, 0) + 1
+        if conn.connected:
+            conn.send_message(reply_bytes, tag=("reply", op, op_id))
+
+
+class NhfsstoneClient:
+    """nhfsstone: N processes issuing the mix at a constant total rate.
+
+    Each process runs one TCP connection to the server.  Operations are
+    issued at fixed spacing ``processes / rate`` per process (constant
+    aggregate rate, as nhfsstone does), drawn from the operation mix.
+    Per-op latency is measured request-to-reply; TCP segment counters
+    give packets/op (Fig. 6(b)).
+    """
+
+    def __init__(self, client_node, server_addr: str, rate: float,
+                 processes: int = 5, port: int = NFS_PORT,
+                 mix: Optional[List[Tuple[str, float]]] = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.node = client_node
+        self.server_addr = server_addr
+        self.rate = rate
+        self.processes = processes
+        self.port = port
+        self.mix = mix or NFS_OPERATION_MIX
+        self.tcp = TcpStack(client_node)
+        self.latencies: List[float] = []
+        self.ops_issued = 0
+        self.ops_completed = 0
+        self._pending: Dict[int, float] = {}
+        self._next_op_id = 0
+        self._running = False
+        self._connections = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        self._running = True
+        for index in range(self.processes):
+            conn = self.tcp.connect(self.server_addr, self.port)
+            conn.on_message = self._on_reply
+            self._connections.append(conn)
+            # stagger the processes across one period
+            offset = index / self.rate
+            conn.on_connect = (lambda c=conn, o=offset:
+                               self.node.schedule(o, self._issue, c))
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- operation issue -----------------------------------------------------
+    def _draw_operation(self) -> str:
+        roll = self.node.rng.random()
+        acc = 0.0
+        for op, fraction in self.mix:
+            acc += fraction
+            if roll < acc:
+                return op
+        return self.mix[-1][0]
+
+    def _issue(self, conn) -> None:
+        if not self._running or not conn.connected:
+            return
+        op = self._draw_operation()
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        self._pending[op_id] = self.node.now()
+        self.ops_issued += 1
+        # target path/offset in the server's pre-populated export
+        path = f"/export/f{self.node.rng.randrange(EXPORT_FILES)}"
+        max_offset = max(1, EXPORT_FILE_BYTES - IO_BYTES)
+        offset = self.node.rng.randrange(max_offset) if op in ("read",
+                                                               "write") \
+            else 0
+        conn.send_message(REQUEST_BYTES, tag=(op, op_id, path, offset))
+        self.node.schedule(self.processes / self.rate, self._issue, conn)
+
+    def _on_reply(self, tag, end) -> None:
+        _, op, op_id = tag
+        started = self._pending.pop(op_id, None)
+        if started is None:
+            return
+        self.ops_completed += 1
+        self.latencies.append(self.node.now() - started)
+
+    # -- reporting ----------------------------------------------------------
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def packets_per_op(self) -> Tuple[float, float]:
+        """(client->server, server->client) TCP segments per completed op."""
+        if self.ops_completed == 0:
+            return (0.0, 0.0)
+        return (self.tcp.segments_sent / self.ops_completed,
+                self.tcp.segments_received / self.ops_completed)

@@ -1,0 +1,125 @@
+"""A natively-parallel PARSEC kernel on the deterministic SMP runtime.
+
+PARSEC applications are multithreaded; the paper's prototype pins
+guests to one VCPU and defers SMP to future work.  With the
+DMP-style scheduler of :mod:`repro.machine.multiproc` the same pricing
+kernel runs on several worker threads -- deterministically, so the
+replicas still agree bit-exactly -- and finishes in roughly
+``1/vcpus`` of the serial compute time.
+"""
+
+import math
+from typing import Optional
+
+from repro.machine.multiproc import MultiprocessorRuntime
+from repro.net.udp import UdpStack
+from repro.workloads.base import GuestWorkload
+from repro.workloads.parsec.base import COLLECTOR_PORT
+from repro.workloads.parsec.kernels import BlackScholes, _cnd
+
+
+class BlackScholesParallel(GuestWorkload):
+    """Black-Scholes pricing fanned out over guest threads."""
+
+    name = "blackscholes-smp"
+    #: serial-equivalent compute budget (same portfolio as the serial
+    #: kernel at scale 1.0)
+    compute_budget = BlackScholes.compute_budget
+    input_reads = BlackScholes.input_reads
+    output_writes = BlackScholes.output_writes
+    blocks_per_io = 32
+
+    def __init__(self, guest, threads: int = 4, vcpus: int = 4,
+                 scale: float = 1.0,
+                 collector_addr: Optional[str] = None):
+        super().__init__(guest)
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.threads = threads
+        self.vcpus = vcpus
+        self.scale = scale
+        self.collector_addr = collector_addr
+        self.udp = UdpStack(guest) if collector_addr else None
+        self.options = []
+        self.prices = []
+        self.finished = False
+        self.finish_virt = None
+        self.start_virt = None
+        self.disk_ops = 0
+
+    # -- setup -----------------------------------------------------------
+    def _prepare(self) -> None:
+        rng = self.rng
+        count = max(self.threads, int(BlackScholes.OPTIONS * self.scale))
+        self.options = [
+            (rng.uniform(20.0, 120.0), rng.uniform(20.0, 120.0),
+             rng.uniform(0.05, 2.0), rng.uniform(0.01, 0.06),
+             rng.uniform(0.1, 0.6), rng.random() < 0.5)
+            for _ in range(count)
+        ]
+        self.prices = [None] * count
+
+    @staticmethod
+    def _price(option) -> float:
+        spot, strike, expiry, rate, vol, is_call = option
+        d1 = (math.log(spot / strike)
+              + (rate + 0.5 * vol * vol) * expiry) \
+            / (vol * math.sqrt(expiry))
+        d2 = d1 - vol * math.sqrt(expiry)
+        if is_call:
+            return spot * _cnd(d1) \
+                - strike * math.exp(-rate * expiry) * _cnd(d2)
+        return strike * math.exp(-rate * expiry) * _cnd(-d2) \
+            - spot * _cnd(-d1)
+
+    # -- execution ---------------------------------------------------------
+    def start(self) -> None:
+        self.start_virt = self.guest.now()
+        self._prepare()
+        reads = max(1, round(self.input_reads * self.scale))
+        self._read_inputs(reads)
+
+    def _read_inputs(self, remaining: int) -> None:
+        if remaining <= 0:
+            self._run_parallel()
+            return
+        self.disk_ops += 1
+        self.guest.disk_read(self.blocks_per_io, self._read_inputs,
+                             remaining - 1)
+
+    def _run_parallel(self) -> None:
+        budget = int(self.compute_budget * self.scale)
+        per_option = max(1, budget // len(self.options))
+        chunk = max(1, math.ceil(len(self.options) / self.threads))
+        runtime = MultiprocessorRuntime(
+            self.guest, vcpus=self.vcpus, quantum=20_000,
+            on_idle=self._write_outputs)
+
+        def worker(start: int, stop: int):
+            for index in range(start, min(stop, len(self.options))):
+                yield per_option
+                self.prices[index] = self._price(self.options[index])
+
+        for t in range(self.threads):
+            runtime.spawn(worker(t * chunk, (t + 1) * chunk),
+                          name=f"pricer-{t}")
+        self.runtime = runtime
+
+    def _write_outputs(self, remaining: Optional[int] = None) -> None:
+        if remaining is None:
+            remaining = max(1, round(self.output_writes * self.scale))
+        if remaining <= 0:
+            self._complete()
+            return
+        self.disk_ops += 1
+        self.guest.disk_write(self.blocks_per_io, self._write_outputs,
+                              remaining - 1)
+
+    def _complete(self) -> None:
+        self.finished = True
+        self.finish_virt = self.guest.now()
+        self.result = round(sum(self.prices) / len(self.prices), 6)
+        if self.udp is not None:
+            self.udp.send(self.collector_addr, COLLECTOR_PORT,
+                          COLLECTOR_PORT, 64,
+                          tag=("DONE", self.name, self.result))

@@ -1,0 +1,41 @@
+"""Tests for the ablation experiment runners (reduced parameters)."""
+
+import math
+
+import pytest
+
+from repro.analysis import delta_n_ablation, epoch_resync_ablation
+
+
+class TestDeltaNAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return delta_n_ablation(delta_ns=(0.0005, 0.010), duration=2.5,
+                                pings=30)
+
+    def test_latency_grows_with_delta_n(self, rows):
+        assert rows[-1][1] > rows[0][1]
+
+    def test_small_delta_n_violates_synchrony(self, rows):
+        assert rows[0][2] > 0       # divergences at 0.5 ms
+        assert rows[-1][2] == 0     # none at 10 ms
+
+    def test_latency_roughly_tracks_delta_n(self, rows):
+        """RTT difference between the Δn settings is about the Δn gap."""
+        gap = rows[-1][0] - rows[0][0]
+        rtt_gap = rows[-1][1] - rows[0][1]
+        assert rtt_gap == pytest.approx(gap, rel=0.6)
+
+    def test_no_nan_latencies(self, rows):
+        assert all(not math.isnan(rtt) for _, rtt, _ in rows)
+
+
+class TestEpochResyncAblation:
+    def test_resync_eliminates_drift(self):
+        rows = epoch_resync_ablation(epoch_lengths=(None, 2_000_000),
+                                     duration=2.0)
+        drift_off = rows[0][1]
+        drift_on = rows[1][1]
+        # 1.5x slope skew -> ~1 s drift over 2 s without resync
+        assert drift_off > 0.5
+        assert drift_on < 0.1 * drift_off

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8",
+                        "placement", "offsets", "covert", "collab",
+                        "list"):
+            args = parser.parse_args(
+                [command] if command != "fig7" else ["fig7"])
+            assert callable(args.fn)
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_size_list_parsing(self):
+        args = build_parser().parse_args(["fig5", "--sizes", "10,20"])
+        assert args.sizes == "10,20"
+
+
+class TestExecution:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        assert "fig5" in capsys.readouterr().out
+
+    def test_fig1_prints_table(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "w/o StopWatch" in out
+        assert "0.99" in out
+
+    def test_placement_prints_table(self, capsys):
+        assert main(["placement"]) == 0
+        assert "StopWatch VMs" in capsys.readouterr().out
+
+    def test_fig8_prints_tables(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "noise" in out
+        assert "Protection-cost scaling" in out
+
+    def test_fig5_small_run(self, capsys):
+        assert main(["fig5", "--sizes", "5000"]) == 0
+        assert "HTTP" in capsys.readouterr().out

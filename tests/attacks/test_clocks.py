@@ -1,0 +1,61 @@
+"""Tests for the attacker clock suite: the internal-clock collapse.
+
+The central internal-defense claim (Sec. VI): inside a StopWatch guest,
+every buildable clock (RT = virtual time, TL = branch counter, PIT
+ticks) is a function of guest progress, so they can never be used to
+time one another -- and they are identical across replicas.
+"""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import DEFAULT
+from repro.sim import Simulator, Trace
+from repro.attacks import ClockObserver
+from repro.workloads.echo import PingClient
+
+
+def run_observer(seed=21, duration=3.0, jitter=0.05):
+    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    cloud = Cloud(sim, machines=3, config=DEFAULT,
+                  host_kwargs={"jitter_sigma": jitter})
+    holder = []
+    vm = cloud.create_vm(
+        "attacker", lambda g: holder.append(ClockObserver(g)) or holder[-1])
+    client = cloud.add_client("pinger:1")
+    pinger = PingClient(client, "vm:attacker", mean_interval=0.030)
+    sim.call_after(0.05, pinger.start)
+    cloud.run(until=duration)
+    return vm, holder
+
+
+class TestClockCollapse:
+    def test_rt_clock_is_linear_in_tl_clock(self):
+        """virt = slope * instr exactly: RT carries no extra signal."""
+        _, observers = run_observer()
+        for sample in observers[0].samples:
+            assert sample.virt == pytest.approx(sample.instr * 1e-8)
+
+    def test_pit_ticks_are_a_function_of_virtual_time(self):
+        _, observers = run_observer()
+        for sample in observers[0].samples:
+            expected_ticks = int(sample.virt / 0.004)
+            assert abs(sample.pit_ticks - expected_ticks) <= 1
+
+    def test_all_clock_readings_identical_across_replicas(self):
+        _, observers = run_observer()
+        assert len(observers) == 3
+        reference = observers[0].samples
+        assert len(reference) > 10
+        assert observers[1].samples == reference
+        assert observers[2].samples == reference
+
+    def test_derived_interval_clocks_agree(self):
+        _, observers = run_observer()
+        obs = observers[0]
+        assert len(obs.inter_arrival_virts()) == len(obs.samples) - 1
+        assert len(obs.inter_arrival_instrs()) == len(obs.samples) - 1
+        # instr gaps and virt gaps are the same clock in different units
+        for virt_gap, instr_gap in zip(obs.inter_arrival_virts(),
+                                       obs.inter_arrival_instrs()):
+            assert virt_gap == pytest.approx(instr_gap * 1e-8)

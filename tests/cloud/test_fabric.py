@@ -1,0 +1,156 @@
+"""Tests for cloud assembly, ingress/egress and the mediated pipeline."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import DEFAULT, PASSTHROUGH
+from repro.net import UdpStack
+from repro.sim import Simulator, Trace
+from repro.workloads import EchoServer
+
+
+def make_cloud(config, machines=3, seed=42, **kwargs):
+    sim = Simulator(seed=seed, trace=kwargs.pop("trace", Trace()))
+    cloud = Cloud(sim, machines=machines, config=config, **kwargs)
+    return sim, cloud
+
+
+class TestCloudConstruction:
+    def test_too_few_machines_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Cloud(sim, machines=2, config=DEFAULT)
+
+    def test_duplicate_vm_rejected(self):
+        sim, cloud = make_cloud(DEFAULT)
+        cloud.create_vm("a", EchoServer)
+        with pytest.raises(ValueError):
+            cloud.create_vm("a", EchoServer)
+
+    def test_wrong_host_count_rejected(self):
+        sim, cloud = make_cloud(DEFAULT)
+        with pytest.raises(ValueError):
+            cloud.create_vm("a", EchoServer, hosts=[0, 1])
+
+    def test_duplicate_client_rejected(self):
+        sim, cloud = make_cloud(DEFAULT)
+        cloud.add_client("c:1")
+        with pytest.raises(ValueError):
+            cloud.add_client("c:1")
+
+    def test_replicas_get_identical_workload_rngs(self):
+        sim, cloud = make_cloud(DEFAULT)
+        vm = cloud.create_vm("a", EchoServer)
+        draws = [vmm.guest.rng.random() for vmm in vm.vmms]
+        assert len(set(draws)) == 1
+
+    def test_different_vms_get_different_rngs(self):
+        sim, cloud = make_cloud(DEFAULT, machines=6)
+        vm_a = cloud.create_vm("a", EchoServer, hosts=[0, 1, 2])
+        vm_b = cloud.create_vm("b", EchoServer, hosts=[3, 4, 5])
+        assert vm_a.vmms[0].guest.rng.random() != \
+            vm_b.vmms[0].guest.rng.random()
+
+
+class _EchoHarness:
+    """Shared scaffolding: echo VM + pinging external client."""
+
+    def __init__(self, config, seed=42, pings=8, interval=0.03):
+        self.sim, self.cloud = make_cloud(config, seed=seed)
+        self.vm = self.cloud.create_vm("echo", EchoServer)
+        self.client = self.cloud.add_client("client:1")
+        self.udp = UdpStack(self.client)
+        self.replies = []
+        self.sent = []
+        self.udp.bind(9000, lambda d, s: self.replies.append(
+            (self.sim.now, d.tag)))
+        self._pings = pings
+        self._interval = interval
+        self.sim.call_after(0.05, self._send, 0)
+
+    def _send(self, index):
+        if index >= self._pings:
+            return
+        self.sent.append(self.sim.now)
+        self.udp.send("vm:echo", 9000, 7, 64, tag=index)
+        self.sim.call_after(self._interval, self._send, index + 1)
+
+    def run(self, until=2.0):
+        self.cloud.run(until=until)
+        return self
+
+
+class TestMediatedPipeline:
+    def test_every_ping_answered_exactly_once(self):
+        harness = _EchoHarness(DEFAULT).run()
+        assert sorted(tag for _, tag in harness.replies) == list(range(8))
+
+    def test_ingress_replicates_every_packet(self):
+        harness = _EchoHarness(DEFAULT).run()
+        assert harness.cloud.ingress.packets_replicated == 8
+
+    def test_egress_releases_once_per_output(self):
+        harness = _EchoHarness(DEFAULT).run()
+        assert harness.cloud.egress.packets_released == 8
+        assert harness.cloud.egress.pending_releases == 0
+
+    def test_rtt_includes_delta_n(self):
+        harness = _EchoHarness(DEFAULT).run()
+        rtts = [t - harness.sent[tag] for t, tag in harness.replies]
+        # Δn = 10 ms plus WAN and quantisation: every RTT well above 10 ms
+        assert all(rtt > 0.010 for rtt in rtts)
+        assert all(rtt < 0.030 for rtt in rtts)
+
+    def test_replica_delivery_virts_identical(self):
+        harness = _EchoHarness(DEFAULT).run()
+        deliveries = {}
+        for rec in harness.sim.trace.select("vmm.deliver.net", vm="echo"):
+            deliveries.setdefault(rec.payload["seq"], set()).add(
+                rec.payload["virt"])
+        assert len(deliveries) == 8
+        assert all(len(virts) == 1 for virts in deliveries.values())
+
+    def test_no_divergences_under_default_config(self):
+        harness = _EchoHarness(DEFAULT).run()
+        assert harness.vm.stat_sum("divergences") == 0
+
+    def test_all_replicas_echo_same_count(self):
+        harness = _EchoHarness(DEFAULT).run()
+        outputs = {vmm.stats["outputs"] for vmm in harness.vm.vmms}
+        assert outputs == {8}
+
+
+class TestBaselinePipeline:
+    def test_every_ping_answered(self):
+        harness = _EchoHarness(PASSTHROUGH).run()
+        assert sorted(tag for _, tag in harness.replies) == list(range(8))
+
+    def test_baseline_rtt_much_smaller(self):
+        base = _EchoHarness(PASSTHROUGH).run()
+        mediated = _EchoHarness(DEFAULT).run()
+        base_rtt = sum(t - base.sent[tag]
+                       for t, tag in base.replies) / len(base.replies)
+        med_rtt = sum(t - mediated.sent[tag]
+                      for t, tag in mediated.replies) / len(mediated.replies)
+        assert med_rtt > 2 * base_rtt
+
+    def test_single_replica_only(self):
+        harness = _EchoHarness(PASSTHROUGH).run()
+        assert len(harness.vm.vmms) == 1
+
+
+class TestFiveReplicas:
+    def test_five_replica_echo_works(self):
+        config = DEFAULT.with_overrides(replicas=5)
+        sim = Simulator(seed=42)
+        cloud = Cloud(sim, machines=5, config=config)
+        vm = cloud.create_vm("echo", EchoServer)
+        client = cloud.add_client("client:1")
+        udp = UdpStack(client)
+        replies = []
+        udp.bind(9000, lambda d, s: replies.append(d.tag))
+        sim.call_after(0.05, udp.send, "vm:echo", 9000, 7, 64, "ping")
+        cloud.run(until=1.0)
+        assert replies == ["ping"]
+        # egress releases on the 3rd copy of 5
+        assert cloud.egress.packets_released == 1

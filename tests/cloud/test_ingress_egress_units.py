@@ -1,0 +1,116 @@
+"""Unit tests for the ingress and egress nodes in isolation."""
+
+import pytest
+
+from repro.cloud import EgressNode, IngressNode
+from repro.net import Network, Packet, PgmReceiver, RealtimeNode
+from repro.net.packet import ReplicaEnvelope
+from repro.sim import Simulator
+
+
+def make_world(hosts=3):
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    host_nodes = [RealtimeNode(sim, network, f"host:{i}")
+                  for i in range(hosts)]
+    return sim, network, host_nodes
+
+
+class TestIngress:
+    def test_replicates_to_every_host_with_sequence(self):
+        sim, network, host_nodes = make_world()
+        ingress = IngressNode(sim, network)
+        got = {i: [] for i in range(3)}
+        ingress.register_vm("web", [n.address for n in host_nodes])
+        for i, node in enumerate(host_nodes):
+            receiver = PgmReceiver(node, "ingress.web")
+            receiver.subscribe("ingress",
+                               lambda env, seq, idx=i:
+                               got[idx].append((env.seq, env.inner.uid)))
+        for _ in range(3):
+            network.send(Packet(src="client", dst="vm:web",
+                                protocol="udp", payload=None, size=100))
+        sim.run(until=1.0)
+        for copies in got.values():
+            assert [seq for seq, _ in copies] == [0, 1, 2]
+
+    def test_duplicate_registration_rejected(self):
+        sim, network, host_nodes = make_world()
+        ingress = IngressNode(sim, network)
+        ingress.register_vm("web", [host_nodes[0].address])
+        with pytest.raises(ValueError):
+            ingress.register_vm("web", [host_nodes[0].address])
+
+    def test_independent_sequences_per_vm(self):
+        sim, network, host_nodes = make_world()
+        ingress = IngressNode(sim, network)
+        ingress.register_vm("a", [host_nodes[0].address])
+        ingress.register_vm("b", [host_nodes[1].address])
+        network.send(Packet(src="c", dst="vm:a", protocol="udp",
+                            payload=None, size=50))
+        network.send(Packet(src="c", dst="vm:b", protocol="udp",
+                            payload=None, size=50))
+        sim.run(until=1.0)
+        assert ingress._sequences == {"a": 1, "b": 1}
+
+
+class TestEgress:
+    def send_copy(self, network, host, vm, seq, replica_id, inner):
+        envelope = ReplicaEnvelope(vm=vm, direction="out", seq=seq,
+                                   inner=inner, replica_id=replica_id)
+        network.send(Packet(src=host, dst="egress",
+                            protocol="replica-out", payload=envelope,
+                            size=envelope.wire_size()))
+
+    def test_forwards_on_second_copy_only(self):
+        sim, network, _ = make_world()
+        egress = EgressNode(sim, network)
+        egress.register_vm("web", 3)
+        got = []
+        network.attach("client", lambda p: got.append(sim.now))
+        inner = Packet(src="vm:web", dst="client", protocol="udp",
+                       payload=None, size=80)
+        self.send_copy(network, "host:0", "web", 0, 0, inner)
+        sim.run(until=0.5)
+        assert got == []  # one copy is not enough
+        sim.call_after(0.0, self.send_copy, network, "host:1", "web", 0, 1,
+                       inner)
+        sim.call_after(0.1, self.send_copy, network, "host:2", "web", 0, 2,
+                       inner)
+        sim.run(until=1.5)
+        assert len(got) == 1
+        assert egress.pending_releases == 0
+
+    def test_unknown_vm_dropped(self):
+        sim, network, _ = make_world()
+        egress = EgressNode(sim, network)
+        inner = Packet(src="vm:ghost", dst="client", protocol="udp",
+                       payload=None, size=80)
+        self.send_copy(network, "host:0", "ghost", 0, 0, inner)
+        sim.run(until=0.5)
+        assert egress.packets_released == 0
+
+    def test_duplicate_registration_rejected(self):
+        sim, network, _ = make_world()
+        egress = EgressNode(sim, network)
+        egress.register_vm("web", 3)
+        with pytest.raises(ValueError):
+            egress.register_vm("web", 3)
+
+    def test_interleaved_sequences_release_independently(self):
+        sim, network, _ = make_world()
+        egress = EgressNode(sim, network)
+        egress.register_vm("web", 3)
+        got = []
+        network.attach("client", got.append)
+        inner0 = Packet(src="vm:web", dst="client", protocol="udp",
+                        payload="m0", size=80)
+        inner1 = Packet(src="vm:web", dst="client", protocol="udp",
+                        payload="m1", size=80)
+        # copies interleaved across sequences
+        self.send_copy(network, "host:0", "web", 0, 0, inner0)
+        self.send_copy(network, "host:0", "web", 1, 0, inner1)
+        self.send_copy(network, "host:1", "web", 1, 1, inner1)
+        self.send_copy(network, "host:1", "web", 0, 1, inner0)
+        sim.run(until=1.0)
+        assert sorted(p.payload for p in got) == ["m0", "m1"]

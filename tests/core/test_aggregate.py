@@ -1,0 +1,42 @@
+"""Tests for the aggregation-ablation primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import AGGREGATIONS, ProtocolError, aggregate
+
+
+PROPOSALS = {0: 5.0, 1: 1.0, 2: 9.0}
+
+
+class TestAggregate:
+    def test_median(self):
+        assert aggregate(PROPOSALS, "median") == 5.0
+
+    def test_mean(self):
+        assert aggregate(PROPOSALS, "mean") == pytest.approx(5.0)
+
+    def test_min_max(self):
+        assert aggregate(PROPOSALS, "min") == 1.0
+        assert aggregate(PROPOSALS, "max") == 9.0
+
+    def test_leader_is_lowest_replica_id(self):
+        assert aggregate(PROPOSALS, "leader") == 5.0
+        assert aggregate({2: 9.0, 1: 1.0}, "leader") == 1.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ProtocolError):
+            aggregate(PROPOSALS, "average")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            aggregate({}, "median")
+
+    @given(st.dictionaries(st.integers(0, 9),
+                           st.floats(-1e6, 1e6), min_size=1, max_size=9))
+    def test_all_aggregations_bounded_by_extremes(self, proposals):
+        low, high = min(proposals.values()), max(proposals.values())
+        for how in AGGREGATIONS:
+            value = aggregate(proposals, how)
+            assert low - 1e-9 <= value <= high + 1e-9

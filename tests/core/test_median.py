@@ -1,0 +1,147 @@
+"""Tests and property tests for the median-aggregation primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    MedianAgreement,
+    ProtocolError,
+    QuorumRelease,
+    kth_smallest,
+    median,
+    median_of_three,
+)
+
+
+class TestMedianFunctions:
+    def test_median_of_three_simple(self):
+        assert median_of_three(1.0, 2.0, 3.0) == 2.0
+        assert median_of_three(3.0, 1.0, 2.0) == 2.0
+        assert median_of_three(2.0, 3.0, 1.0) == 2.0
+
+    def test_median_odd_list(self):
+        assert median([5.0, 1.0, 3.0]) == 3.0
+
+    def test_median_even_list_takes_lower_middle(self):
+        # StopWatch medians must be a proposed timing, so no averaging.
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.0
+
+    def test_median_singleton(self):
+        assert median([7.0]) == 7.0
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ProtocolError):
+            median([])
+
+    def test_kth_smallest(self):
+        assert kth_smallest([9.0, 1.0, 5.0], 1) == 1.0
+        assert kth_smallest([9.0, 1.0, 5.0], 2) == 5.0
+        assert kth_smallest([9.0, 1.0, 5.0], 3) == 9.0
+
+    def test_kth_smallest_bounds(self):
+        with pytest.raises(ProtocolError):
+            kth_smallest([1.0], 2)
+        with pytest.raises(ProtocolError):
+            kth_smallest([1.0], 0)
+
+    @given(st.floats(-1e9, 1e9), st.floats(-1e9, 1e9), st.floats(-1e9, 1e9))
+    def test_median_of_three_matches_sort(self, a, b, c):
+        assert median_of_three(a, b, c) == sorted([a, b, c])[1]
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=9))
+    def test_median_is_an_element(self, values):
+        assert median(values) in values
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=3, max_size=3))
+    def test_median_bounded_by_two_values(self, values):
+        """The defining security property: the median of three is never an
+        extreme -- it is <= one other value and >= another."""
+        m = median(values)
+        ordered = sorted(values)
+        assert ordered[0] <= m <= ordered[2]
+
+
+class TestMedianAgreement:
+    def test_decides_on_third_proposal_with_median(self):
+        agreement = MedianAgreement("pkt-1")
+        agreement.propose(0, 10.0)
+        assert not agreement.decided
+        agreement.propose(1, 30.0)
+        assert not agreement.decided
+        agreement.propose(2, 20.0)
+        assert agreement.decided
+        assert agreement.decision() == 20.0
+
+    def test_duplicate_proposal_rejected(self):
+        agreement = MedianAgreement("pkt-1")
+        agreement.propose(0, 10.0)
+        with pytest.raises(ProtocolError):
+            agreement.propose(0, 11.0)
+
+    def test_extra_proposal_rejected(self):
+        agreement = MedianAgreement("pkt-1", expected=1)
+        agreement.propose(0, 10.0)
+        with pytest.raises(ProtocolError):
+            agreement.propose(1, 11.0)
+
+    def test_premature_decision_rejected(self):
+        agreement = MedianAgreement("pkt-1")
+        agreement.propose(0, 10.0)
+        with pytest.raises(ProtocolError):
+            agreement.decision()
+
+    def test_single_replica_agreement_is_identity(self):
+        agreement = MedianAgreement("pkt-1", expected=1)
+        agreement.propose(0, 42.0)
+        assert agreement.decision() == 42.0
+
+    def test_bad_expected_count(self):
+        with pytest.raises(ProtocolError):
+            MedianAgreement("x", expected=0)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=3, max_size=3, unique=True))
+    def test_agreement_order_independent(self, times):
+        decisions = []
+        for order in ([0, 1, 2], [2, 0, 1], [1, 2, 0]):
+            agreement = MedianAgreement("k")
+            for idx in order:
+                agreement.propose(idx, times[idx])
+            decisions.append(agreement.decision())
+        assert decisions[0] == decisions[1] == decisions[2]
+        assert decisions[0] == sorted(times)[1]
+
+
+class TestQuorumRelease:
+    def test_releases_on_second_of_three(self):
+        release = QuorumRelease("out-1")
+        assert release.arrive(0, 1.0) is False
+        assert release.arrive(2, 3.0) is True
+        assert release.released_at == 3.0
+        assert release.arrive(1, 5.0) is False
+        assert release.complete
+
+    def test_second_arrival_is_median_of_emissions(self):
+        release = QuorumRelease("out-1")
+        emissions = {0: 4.0, 1: 9.0, 2: 6.5}
+        released = None
+        for rid, t in sorted(emissions.items(), key=lambda kv: kv[1]):
+            if release.arrive(rid, t):
+                released = t
+        assert released == sorted(emissions.values())[1]
+
+    def test_five_replica_quorum_is_third(self):
+        release = QuorumRelease("out-1", expected=5)
+        assert release.quorum == 3
+        results = [release.arrive(i, float(i)) for i in range(5)]
+        assert results == [False, False, True, False, False]
+
+    def test_duplicate_copy_rejected(self):
+        release = QuorumRelease("out-1")
+        release.arrive(0, 1.0)
+        with pytest.raises(ProtocolError):
+            release.arrive(0, 2.0)
+
+    def test_single_replica_releases_immediately(self):
+        release = QuorumRelease("out-1", expected=1)
+        assert release.arrive(0, 2.0) is True

@@ -1,0 +1,78 @@
+"""Property tests linking the protocol objects to order statistics.
+
+The protocol claims: the egress's release-on-quorum rule realises the
+median order statistic of emission times, and the MedianAgreement's
+decision is never an extreme of the proposals.  These are the exact
+security-bearing properties, checked over random inputs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MedianAgreement, QuorumRelease
+
+
+times3 = st.lists(st.floats(0.0, 1e6), min_size=3, max_size=3,
+                  unique=True)
+times5 = st.lists(st.floats(0.0, 1e6), min_size=5, max_size=5,
+                  unique=True)
+
+
+class TestQuorumIsMedianOrderStatistic:
+    @given(times3)
+    @settings(max_examples=100)
+    def test_three_replica_release_time_is_median(self, emissions):
+        release = QuorumRelease("k", expected=3)
+        released = []
+        for replica_id, time in sorted(enumerate(emissions),
+                                       key=lambda pair: pair[1]):
+            if release.arrive(replica_id, time):
+                released.append(time)
+        assert released == [sorted(emissions)[1]]
+
+    @given(times5)
+    @settings(max_examples=100)
+    def test_five_replica_release_time_is_median(self, emissions):
+        release = QuorumRelease("k", expected=5)
+        released = []
+        for replica_id, time in sorted(enumerate(emissions),
+                                       key=lambda pair: pair[1]):
+            if release.arrive(replica_id, time):
+                released.append(time)
+        assert released == [sorted(emissions)[2]]
+
+    @given(times3)
+    @settings(max_examples=100)
+    def test_release_happens_exactly_once(self, emissions):
+        release = QuorumRelease("k", expected=3)
+        fires = sum(release.arrive(i, t) for i, t in enumerate(emissions))
+        assert fires == 1
+
+
+class TestAgreementNeverExtreme:
+    @given(times3)
+    @settings(max_examples=100)
+    def test_median_decision_bounded_by_victim_free_pair(self, proposals):
+        """For ANY single corrupted proposal, the median lies within the
+        other two -- the microaggregation guarantee."""
+        agreement = MedianAgreement("k", expected=3)
+        for replica_id, value in enumerate(proposals):
+            agreement.propose(replica_id, value)
+        decision = agreement.decision()
+        for corrupt in range(3):
+            others = [proposals[i] for i in range(3) if i != corrupt]
+            assert min(others) <= decision <= max(others) or \
+                decision in others
+
+    @given(times5)
+    @settings(max_examples=60)
+    def test_five_replica_median_survives_two_corruptions(self, proposals):
+        agreement = MedianAgreement("k", expected=5)
+        for replica_id, value in enumerate(proposals):
+            agreement.propose(replica_id, value)
+        decision = agreement.decision()
+        ordered = sorted(proposals)
+        # with 5 replicas and <=2 corrupt, the median (3rd) is bounded
+        # by honest values
+        assert ordered[0] <= decision <= ordered[4]
+        assert decision == ordered[2]

@@ -1,0 +1,132 @@
+"""Tests for virtual time (Eqn. 1 and epoch resynchronisation)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigError, EpochSample, VirtualClock, resync_slope
+
+
+class TestVirtualClockBasics:
+    def test_eqn1_linear(self):
+        clock = VirtualClock(start=100.0, slope=1e-8)
+        assert clock.time_at(0) == 100.0
+        assert clock.time_at(10**8) == pytest.approx(101.0)
+
+    def test_start_from_median_of_host_clocks(self):
+        clock = VirtualClock.from_host_clocks([10.0, 50.0, 20.0], slope=1e-8)
+        assert clock.start == 20.0
+
+    def test_nonpositive_slope_rejected(self):
+        with pytest.raises(ConfigError):
+            VirtualClock(start=0.0, slope=0.0)
+
+    def test_instr_at_is_inverse(self):
+        clock = VirtualClock(start=0.0, slope=1e-8)
+        for virt in (0.0, 0.5, 1.0, 3.14159):
+            instr = clock.instr_at(virt)
+            assert clock.time_at(instr) >= virt
+            if instr > 0:
+                assert clock.time_at(instr - 1) < virt
+
+    def test_instr_at_clamps_to_segment_base(self):
+        clock = VirtualClock(start=5.0, slope=1e-8)
+        assert clock.instr_at(1.0) == 0
+
+    def test_time_before_segment_base_rejected(self):
+        clock = VirtualClock(start=0.0, slope=1e-8,
+                             slope_range=(1e-9, 1e-7),
+                             epoch_instructions=1000)
+        clock.apply_epoch_resync([EpochSample(0, 1e-5, 1e-5)])
+        with pytest.raises(ConfigError):
+            clock.time_at(500)
+
+    @given(st.integers(0, 10**12), st.floats(1e-10, 1e-6),
+           st.floats(0, 1e6))
+    def test_monotone_in_instructions(self, instr, slope, start):
+        clock = VirtualClock(start=start, slope=slope)
+        # Strict monotonicity holds whenever the per-step increment is
+        # representable; over a 10^6-branch stride it always is.
+        assert clock.time_at(instr + 1) >= clock.time_at(instr)
+        assert clock.time_at(instr + 10**6) > clock.time_at(instr)
+
+
+class TestEpochResync:
+    def make_clock(self, epoch=10**6):
+        return VirtualClock(start=0.0, slope=1e-8,
+                            slope_range=(0.5e-8, 2e-8),
+                            epoch_instructions=epoch)
+
+    def test_boundary_advances_per_epoch(self):
+        clock = self.make_clock()
+        assert clock.next_epoch_boundary() == 10**6
+        clock.apply_epoch_resync([EpochSample(0, 0.01, 0.01)])
+        assert clock.next_epoch_boundary() == 2 * 10**6
+        assert clock.epoch_index == 1
+
+    def test_resync_continuity(self):
+        """Virtual time is continuous across an epoch boundary."""
+        clock = self.make_clock()
+        virt_before = clock.time_at(10**6)
+        clock.apply_epoch_resync([
+            EpochSample(0, 0.012, 0.020),
+            EpochSample(1, 0.010, 0.015),
+            EpochSample(2, 0.011, 0.030),
+        ])
+        assert clock.time_at(10**6) == pytest.approx(virt_before)
+
+    def test_resync_tracks_median_machine(self):
+        """slope_{k+1} = (R* - virt_k(I) + D*) / I when inside [l, u]."""
+        clock = self.make_clock()
+        virt_end = clock.time_at(10**6)  # 0.01
+        samples = [
+            EpochSample(0, 0.012, 0.009),
+            EpochSample(1, 0.010, 0.011),   # median real time -> D* = 0.010
+            EpochSample(2, 0.011, 0.014),
+        ]
+        clock.apply_epoch_resync(samples)
+        expected = (0.011 - virt_end + 0.010) / 10**6
+        assert clock.slope == pytest.approx(expected)
+
+    def test_resync_clamps_to_range(self):
+        clock = self.make_clock()
+        # A huge real-time excess would push the slope far above u.
+        clock.apply_epoch_resync([EpochSample(0, 1.0, 100.0)])
+        assert clock.slope == 2e-8
+        # And a tiny one would push it below l (possibly negative).
+        clock.apply_epoch_resync([EpochSample(0, 0.0, -100.0)])
+        assert clock.slope == 0.5e-8
+
+    def test_resync_without_config_rejected(self):
+        clock = VirtualClock(start=0.0, slope=1e-8)
+        with pytest.raises(ConfigError):
+            clock.apply_epoch_resync([EpochSample(0, 0.1, 0.1)])
+
+    def test_identical_samples_give_identical_clocks(self):
+        """Two replicas applying the same exchanges stay bit-identical --
+        the determinism property guest-visible time relies on."""
+        clock_a = self.make_clock()
+        clock_b = self.make_clock()
+        exchanges = [
+            [EpochSample(0, 0.011, 0.012), EpochSample(1, 0.010, 0.010),
+             EpochSample(2, 0.013, 0.016)],
+            [EpochSample(0, 0.009, 0.021), EpochSample(1, 0.012, 0.023),
+             EpochSample(2, 0.010, 0.022)],
+        ]
+        for samples in exchanges:
+            clock_a.apply_epoch_resync(samples)
+            clock_b.apply_epoch_resync(samples)
+        for instr in (2 * 10**6, 3 * 10**6, 5 * 10**6):
+            assert clock_a.time_at(instr) == clock_b.time_at(instr)
+
+    @given(st.lists(
+        st.tuples(st.floats(0.001, 0.1), st.floats(0.0, 10.0)),
+        min_size=3, max_size=3))
+    def test_resync_slope_always_in_range(self, pairs):
+        samples = [EpochSample(i, d, r) for i, (d, r) in enumerate(pairs)]
+        slope = resync_slope(samples, 0.01, 10**6, (0.5e-8, 2e-8))
+        assert 0.5e-8 <= slope <= 2e-8
+
+    def test_resync_slope_empty_samples_rejected(self):
+        with pytest.raises(ConfigError):
+            resync_slope([], 0.0, 100, (1e-9, 1e-7))

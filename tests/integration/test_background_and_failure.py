@@ -1,0 +1,88 @@
+"""Background broadcast traffic and replica failure injection."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import DEFAULT, PASSTHROUGH
+from repro.net import UdpStack
+from repro.sim import Simulator, Trace
+from repro.workloads import EchoServer
+
+
+def echo_cloud(config, seed=4, **cloud_kwargs):
+    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    cloud = Cloud(sim, machines=3, config=config, **cloud_kwargs)
+    vm = cloud.create_vm("echo", EchoServer)
+    client = cloud.add_client("client:1")
+    udp = UdpStack(client)
+    replies = []
+    udp.bind(9000, lambda d, s: replies.append((sim.now, d.tag)))
+    return sim, cloud, vm, udp, replies
+
+
+class TestBackgroundBroadcast:
+    def test_broadcasts_flow_through_mediation(self):
+        sim, cloud, vm, udp, _ = echo_cloud(DEFAULT)
+        cloud.add_background_broadcast(rate=100.0)
+        cloud.run(until=2.0)
+        # ~200 broadcasts replicated and delivered as net interrupts
+        assert cloud.ingress.packets_replicated > 120
+        assert vm.vmms[0].stats["net_interrupts"] > 120
+
+    def test_service_unaffected_functionally(self):
+        sim, cloud, vm, udp, replies = echo_cloud(DEFAULT)
+        cloud.add_background_broadcast(rate=100.0)
+        sim.call_after(0.1, udp.send, "vm:echo", 9000, 7, 64, "ping")
+        cloud.run(until=1.0)
+        assert [tag for _, tag in replies] == ["ping"]
+
+    def test_replicas_remain_deterministic_under_broadcast(self):
+        sim, cloud, vm, udp, _ = echo_cloud(DEFAULT)
+        cloud.add_background_broadcast(rate=80.0)
+        cloud.run(until=2.0)
+        counts = {vmm.stats["net_interrupts"] for vmm in vm.vmms}
+        assert len(counts) == 1
+
+    def test_bad_rate_rejected(self):
+        _, cloud, _, _, _ = echo_cloud(DEFAULT)
+        with pytest.raises(ValueError):
+            cloud.add_background_broadcast(rate=0.0)
+
+
+class TestReplicaFailure:
+    def test_replica_failure_stalls_mediated_service(self):
+        """StopWatch trades availability for security: median agreement
+        needs all three proposals, and pacing stalls the survivors when
+        a replica stops reporting progress.  A dead replica therefore
+        freezes the VM (until recovery, which the paper handles by
+        copying a healthy replica's state)."""
+        sim, cloud, vm, udp, replies = echo_cloud(DEFAULT)
+        sim.call_after(0.1, udp.send, "vm:echo", 9000, 7, 64, "before")
+        sim.call_after(0.5, vm.vmms[2].fail)
+        sim.call_after(1.0, udp.send, "vm:echo", 9000, 7, 64, "after")
+        cloud.run(until=3.0)
+        tags = [tag for _, tag in replies]
+        assert "before" in tags
+        assert "after" not in tags
+        # the survivors' agreements for the second packet are stuck at 2/3
+        stuck = [len(v.coordination._agreements)
+                 for v in (vm.vmms[0], vm.vmms[1])]
+        assert all(count >= 1 for count in stuck)
+
+    def test_baseline_has_no_such_coupling(self):
+        sim, cloud, vm, udp, replies = echo_cloud(PASSTHROUGH)
+        sim.call_after(0.1, udp.send, "vm:echo", 9000, 7, 64, "ping")
+        cloud.run(until=1.0)
+        assert [tag for _, tag in replies] == ["ping"]
+
+    def test_egress_tolerates_one_missing_copy_stream(self):
+        """If a replica's *egress tunnel* fails (but the replica still
+        executes), the egress quorum of 2 keeps releasing outputs."""
+        sim, cloud, vm, udp, replies = echo_cloud(DEFAULT)
+        # drop replica 2's outputs by detaching its emit path
+        vmm = vm.vmms[2]
+        vmm._emit_output = lambda seq, packet: None
+        sim.call_after(0.1, udp.send, "vm:echo", 9000, 7, 64, "ping")
+        cloud.run(until=1.0)
+        assert [tag for _, tag in replies] == ["ping"]
+        assert cloud.egress.packets_released == 1

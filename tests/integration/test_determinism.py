@@ -1,0 +1,134 @@
+"""The determinism invariants StopWatch's design rests on (Sec. IV-VI).
+
+Three replicas of a uniprocessor guest, on hosts with *different* timing
+noise and different coresident load, must:
+
+- observe identical network-interrupt delivery times in virtual time;
+- observe identical disk-interrupt delivery times in virtual time;
+- execute identical instruction streams (same branch counts at the same
+  events);
+- emit identical output packet sequences;
+- compute identical results (for the real computation kernels).
+
+These tests drive the full fabric (ingress replication, PGM proposal
+exchange, median agreement, egress release) -- they are the system-level
+proof that internal clocks (RT/TL/Mem/PIT) carry no host-timing signal.
+"""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import DEFAULT
+from repro.net import UdpStack
+from repro.sim import Simulator
+from repro.workloads import EchoServer, FileServer, HttpDownloader
+from repro.workloads.parsec import Dedup, RunCollector
+
+
+def run_echo_cloud(seed=42, pings=12, jitter=0.05):
+    """Echo VM under StopWatch with strong, per-host-distinct jitter."""
+    sim = Simulator(seed=seed)
+    cloud = Cloud(sim, machines=3, config=DEFAULT,
+                  host_kwargs={"jitter_sigma": jitter})
+    holder = []
+    vm = cloud.create_vm(
+        "echo", lambda g: holder.append(EchoServer(g)) or holder[-1])
+    client = cloud.add_client("client:1")
+    udp = UdpStack(client)
+    replies = []
+    udp.bind(9000, lambda d, s: replies.append(d.tag))
+
+    def send(i=0):
+        if i < pings:
+            udp.send("vm:echo", 9000, 7, 64, tag=i)
+            sim.call_after(0.025, send, i + 1)
+
+    sim.call_after(0.05, send)
+    cloud.run(until=2.0)
+    return sim, cloud, vm, holder, replies
+
+
+class TestNetworkDeterminism:
+    def test_replicas_see_identical_virtual_arrival_times(self):
+        _, _, vm, workloads, _ = run_echo_cloud()
+        reference = workloads[0].request_virts
+        assert len(reference) == 12
+        for workload in workloads[1:]:
+            assert workload.request_virts == reference
+
+    def test_replicas_see_identical_interrupt_counts(self):
+        _, _, vm, _, _ = run_echo_cloud()
+        for key in ("net_interrupts", "timer_interrupts", "outputs"):
+            assert len({vmm.stats[key] for vmm in vm.vmms}) == 1, key
+
+    def test_delivery_trace_identical_across_replicas(self):
+        sim, _, vm, _, _ = run_echo_cloud()
+        per_replica = {}
+        for rec in sim.trace.select("vmm.deliver.net", vm="echo"):
+            per_replica.setdefault(rec.payload["replica"], []).append(
+                (rec.payload["seq"], rec.payload["virt"]))
+        assert len(per_replica) == 3
+        streams = list(per_replica.values())
+        assert streams[0] == streams[1] == streams[2]
+
+    def test_real_delivery_times_differ_across_replicas(self):
+        """Sanity: the *real* times genuinely differ -- the determinism
+        above is achieved by mediation, not by identical hosts."""
+        sim, _, _, _, _ = run_echo_cloud(jitter=0.08)
+        real_times = {}
+        for rec in sim.trace.select("vmm.deliver.net", vm="echo"):
+            real_times.setdefault(rec.payload["seq"], []).append(rec.time)
+        spreads = [max(v) - min(v) for v in real_times.values()
+                   if len(v) == 3]
+        assert max(spreads) > 0.0
+
+    def test_seed_reproducibility(self):
+        _, _, _, workloads_a, replies_a = run_echo_cloud(seed=7)
+        _, _, _, workloads_b, replies_b = run_echo_cloud(seed=7)
+        assert workloads_a[0].request_virts == workloads_b[0].request_virts
+        assert replies_a == replies_b
+
+
+class TestComputationDeterminism:
+    def test_dedup_results_identical_across_replicas(self):
+        sim = Simulator(seed=5)
+        cloud = Cloud(sim, machines=3, config=DEFAULT,
+                      host_kwargs={"jitter_sigma": 0.05})
+        client = cloud.add_client("collector:1")
+        RunCollector(client)
+        vm = cloud.create_vm(
+            "dedup",
+            lambda g: Dedup(g, scale=0.1, collector_addr="collector:1"))
+        cloud.run(until=20.0)
+        results = [w.result for w in vm.workloads]
+        assert all(w.finished for w in vm.workloads)
+        assert results[0] == results[1] == results[2]
+
+    def test_finish_virts_identical(self):
+        sim = Simulator(seed=5)
+        cloud = Cloud(sim, machines=3, config=DEFAULT,
+                      host_kwargs={"jitter_sigma": 0.05})
+        vm = cloud.create_vm("dedup", lambda g: Dedup(g, scale=0.1))
+        cloud.run(until=20.0)
+        finish_virts = {w.finish_virt for w in vm.workloads}
+        assert len(finish_virts) == 1
+
+
+class TestTcpDeterminism:
+    def test_file_download_served_identically_by_replicas(self):
+        """A full TCP download: replicas must emit identical segment
+        streams (egress sees 3 copies of every output seq)."""
+        sim = Simulator(seed=3)
+        cloud = Cloud(sim, machines=3, config=DEFAULT,
+                      host_kwargs={"jitter_sigma": 0.05})
+        vm = cloud.create_vm("web", FileServer)
+        client = cloud.add_client("client:1")
+        downloader = HttpDownloader(client, "vm:web")
+        done = []
+        sim.call_after(0.05, downloader.download, 50_000, done.append)
+        cloud.run(until=20.0)
+        assert len(done) == 1
+        outputs = {vmm.stats["outputs"] for vmm in vm.vmms}
+        assert len(outputs) == 1
+        assert cloud.egress.pending_releases == 0
+        assert vm.stat_sum("divergences") == 0

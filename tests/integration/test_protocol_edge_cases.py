@@ -1,0 +1,140 @@
+"""Edge cases of the mediation protocols: divergence, pacing, epochs,
+aggregation ablation wiring, and the egress under replica skew."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import DEFAULT
+from repro.net import UdpStack
+from repro.sim import Simulator
+from repro.workloads import EchoServer
+
+
+def echo_cloud(config, seed=42, pings=10, machines=3, host_kwargs=None):
+    sim = Simulator(seed=seed)
+    cloud = Cloud(sim, machines=machines, config=config,
+                  host_kwargs=host_kwargs or {})
+    holder = []
+    vm = cloud.create_vm(
+        "echo", lambda g: holder.append(EchoServer(g)) or holder[-1])
+    client = cloud.add_client("client:1")
+    udp = UdpStack(client)
+    replies = []
+    udp.bind(9000, lambda d, s: replies.append(d.tag))
+
+    def send(i=0):
+        if i < pings:
+            udp.send("vm:echo", 9000, 7, 64, tag=i)
+            sim.call_after(0.02, send, i + 1)
+
+    sim.call_after(0.05, send)
+    return sim, cloud, vm, holder, replies
+
+
+class TestDivergenceHandling:
+    def test_tiny_delta_n_causes_divergences_but_still_delivers(self):
+        """Δn below the replicas' virtual-time spread violates the
+        synchrony assumption: medians arrive already-passed at the
+        fastest replica.  StopWatch records the divergence and delivers
+        anyway (recovery model)."""
+        config = DEFAULT.with_overrides(delta_net=0.0001)
+        sim, cloud, vm, _, replies = echo_cloud(
+            config, pings=30, host_kwargs={"jitter_sigma": 0.08})
+        cloud.run(until=2.0)
+        assert sorted(replies) == list(range(30))
+        assert vm.stat_sum("divergences") > 0
+
+    def test_default_delta_n_avoids_divergence_under_noise(self):
+        sim, cloud, vm, _, replies = echo_cloud(
+            DEFAULT, host_kwargs={"jitter_sigma": 0.05})
+        cloud.run(until=2.0)
+        assert vm.stat_sum("divergences") == 0
+
+
+class TestPacing:
+    def test_fast_host_gets_stalled(self):
+        """Make one host 30% faster via negative-mean jitter: pacing
+        must stall it rather than let it run ahead."""
+        sim = Simulator(seed=1)
+        cloud = Cloud(sim, machines=3, config=DEFAULT)
+        # host 0 drastically faster: patch its slowdown
+        fast_host = cloud.hosts[0]
+        original = fast_host.slowdown_factor
+        fast_host.slowdown_factor = lambda: original() * 0.7
+        vm = cloud.create_vm("echo", EchoServer)
+        cloud.run(until=2.0)
+        fast_vmm = vm.vmms[0]
+        assert fast_vmm.stats["pacing_stalls"] > 0
+        assert fast_vmm.stats["pacing_stall_time"] > 0.1
+        # and the replicas stay within the pacing lead of each other
+        instrs = sorted(vmm.instr for vmm in vm.vmms)
+        max_gap_branches = instrs[-1] - instrs[0]
+        lead_limit = 3 * DEFAULT.pacing_interval_branches \
+            + DEFAULT.exit_interval_branches
+        assert max_gap_branches <= lead_limit
+
+    def test_balanced_hosts_rarely_stall(self):
+        sim, cloud, vm, _, _ = echo_cloud(DEFAULT,
+                                          host_kwargs={"jitter_sigma": 0.0})
+        cloud.run(until=2.0)
+        total_stall = vm.stat_sum("pacing_stall_time")
+        assert total_stall < 0.2
+
+
+class TestEpochResyncReplicated:
+    def test_replica_clocks_identical_with_resync_on(self):
+        config = DEFAULT.with_overrides(
+            epoch_instructions=2_000_000,
+            initial_slope=1.3e-8, slope_range=(0.5e-8, 2e-8))
+        sim, cloud, vm, workloads, replies = echo_cloud(
+            config, host_kwargs={"jitter_sigma": 0.04})
+        cloud.run(until=2.0)
+        assert sorted(replies) == list(range(10))
+        # replicas applied the same exchanges -> same piecewise clock
+        slopes = {vmm.clock.slope for vmm in vm.vmms}
+        epochs = {vmm.clock.epoch_index for vmm in vm.vmms}
+        assert len(slopes) == 1
+        assert len(epochs) <= 2  # at most off-by-one at the horizon
+        # and the guest observations still match exactly
+        reference = workloads[0].request_virts
+        assert workloads[1].request_virts == reference
+        assert workloads[2].request_virts == reference
+
+    def test_resync_pulls_virtual_time_toward_real(self):
+        config = DEFAULT.with_overrides(
+            epoch_instructions=1_000_000,
+            initial_slope=1.8e-8, slope_range=(0.5e-8, 2e-8))
+        sim, cloud, vm, _, _ = echo_cloud(config)
+        cloud.run(until=2.0)
+        virt = vm.vmms[0].current_virt()
+        # without resync virt would be ~1.8x real; with it, near real
+        assert virt == pytest.approx(sim.now, rel=0.25)
+
+
+class TestAggregationWiring:
+    @pytest.mark.parametrize("how", ["median", "mean", "min", "max",
+                                     "leader"])
+    def test_all_aggregations_deliver_and_stay_deterministic(self, how):
+        config = DEFAULT.with_overrides(aggregation=how)
+        sim, cloud, vm, workloads, replies = echo_cloud(
+            config, host_kwargs={"jitter_sigma": 0.03})
+        cloud.run(until=2.0)
+        assert sorted(replies) == list(range(10))
+        reference = workloads[0].request_virts
+        assert workloads[1].request_virts == reference
+
+    def test_min_aggregation_diverges_more_easily(self):
+        """min adopts the earliest proposal, which the slowest replica
+        may already have passed -- more divergences than median."""
+        config_min = DEFAULT.with_overrides(aggregation="min",
+                                            delta_net=0.002)
+        config_med = DEFAULT.with_overrides(delta_net=0.002)
+        noise = {"jitter_sigma": 0.05}
+        _, cloud_min, vm_min, _, _ = echo_cloud(config_min, pings=20,
+                                                host_kwargs=noise)
+        cloud_min.run(until=2.0)
+        _, cloud_med, vm_med, _, _ = echo_cloud(config_med, pings=20,
+                                                host_kwargs=noise)
+        cloud_med.run(until=2.0)
+        assert vm_min.stat_sum("divergences") >= \
+            vm_med.stat_sum("divergences")

@@ -1,0 +1,125 @@
+"""Tests for the dom0 work queue and the disk model."""
+
+import pytest
+
+from repro.machine import DiskModel, Dom0Executor
+from repro.sim import Simulator
+
+
+class TestDom0Executor:
+    def test_job_runs_after_duration(self):
+        sim = Simulator()
+        dom0 = Dom0Executor(sim)
+        done = []
+        dom0.submit(0.001, done.append, "a")
+        sim.run()
+        assert done == ["a"]
+        assert sim.now == pytest.approx(0.001)
+
+    def test_fifo_serialisation(self):
+        sim = Simulator()
+        dom0 = Dom0Executor(sim)
+        done = []
+        dom0.submit(0.002, lambda: done.append(("first", sim.now)))
+        dom0.submit(0.001, lambda: done.append(("second", sim.now)))
+        sim.run()
+        assert done == [("first", pytest.approx(0.002)),
+                        ("second", pytest.approx(0.003))]
+
+    def test_queue_delay(self):
+        sim = Simulator()
+        dom0 = Dom0Executor(sim)
+        dom0.submit(0.005, lambda: None)
+        assert dom0.queue_delay() == pytest.approx(0.005)
+
+    def test_activity_level_reflects_recent_work(self):
+        sim = Simulator()
+        dom0 = Dom0Executor(sim, activity_window=0.1)
+        for _ in range(10):
+            dom0.submit(0.002, lambda: None)
+        sim.run()
+        assert dom0.activity_level() == pytest.approx(0.2, abs=0.02)
+
+    def test_activity_decays_outside_window(self):
+        sim = Simulator()
+        dom0 = Dom0Executor(sim, activity_window=0.05)
+        dom0.submit(0.01, lambda: None)
+        sim.run()
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        assert dom0.activity_level() == 0.0
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        dom0 = Dom0Executor(sim)
+        with pytest.raises(ValueError):
+            dom0.submit(-0.001, lambda: None)
+
+    def test_counters(self):
+        sim = Simulator()
+        dom0 = Dom0Executor(sim)
+        dom0.submit(0.001, lambda: None)
+        dom0.submit(0.002, lambda: None)
+        sim.run()
+        assert dom0.jobs_done == 2
+        assert dom0.busy_total == pytest.approx(0.003)
+
+
+class TestDiskModel:
+    def make_disk(self, sim, **kwargs):
+        return DiskModel(sim, sim.rng.stream("test-disk"), **kwargs)
+
+    def test_completion_within_service_bounds(self):
+        sim = Simulator(seed=4)
+        disk = self.make_disk(sim, seek_min=0.003, seek_max=0.009,
+                              per_block=0.00005)
+        done = []
+        disk.request(10, lambda: done.append(sim.now))
+        sim.run()
+        assert 0.0035 <= done[0] <= 0.0095 + 1e-9
+
+    def test_fifo_service(self):
+        sim = Simulator(seed=4)
+        disk = self.make_disk(sim)
+        done = []
+        disk.request(1, lambda: done.append("a"))
+        disk.request(1, lambda: done.append("b"))
+        sim.run()
+        assert done == ["a", "b"]
+
+    def test_queueing_accumulates(self):
+        sim = Simulator(seed=4)
+        disk = self.make_disk(sim)
+        for _ in range(5):
+            disk.request(1, lambda: None)
+        assert disk.queue_delay() > 0.01
+
+    def test_blocks_increase_service_time(self):
+        sim = Simulator(seed=4)
+        disk = self.make_disk(sim, seek_min=0.001, seek_max=0.001,
+                              per_block=0.001)
+        assert disk.service_time(100) == pytest.approx(0.101)
+
+    def test_zero_blocks_rejected(self):
+        sim = Simulator(seed=4)
+        disk = self.make_disk(sim)
+        with pytest.raises(ValueError):
+            disk.service_time(0)
+
+    def test_bad_seek_range_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            self.make_disk(sim, seek_min=0.01, seek_max=0.001)
+
+    def test_cache_hits_are_fast(self):
+        sim = Simulator(seed=4)
+        disk = self.make_disk(sim, cache_hit_ratio=1.0,
+                              cache_hit_time=0.0001)
+        assert disk.service_time(64) == pytest.approx(0.0001)
+
+    def test_request_counter(self):
+        sim = Simulator(seed=4)
+        disk = self.make_disk(sim)
+        disk.request(1, lambda: None)
+        disk.request(1, lambda: None)
+        assert disk.requests == 2

@@ -1,0 +1,150 @@
+"""Tests for links and network routing."""
+
+import pytest
+
+from repro.net import Link, Network, Packet, RealtimeNode
+from repro.net.network import NetworkError
+from repro.sim import Simulator
+
+
+def make_packet(src="a", dst="b", size=1000):
+    return Packet(src=src, dst=dst, protocol="raw", payload=None, size=size)
+
+
+class TestLink:
+    def test_propagation_latency(self):
+        sim = Simulator()
+        link = Link(sim, latency=0.01, bandwidth=None)
+        arrivals = []
+        link.transmit(make_packet(), lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(0.01)]
+
+    def test_serialization_delay(self):
+        sim = Simulator()
+        link = Link(sim, latency=0.0, bandwidth=8000.0)  # 1000 bytes/s
+        arrivals = []
+        link.transmit(make_packet(size=500),
+                      lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(0.5)]
+
+    def test_fifo_queueing(self):
+        """Two back-to-back packets: the second waits for the first."""
+        sim = Simulator()
+        link = Link(sim, latency=0.0, bandwidth=8000.0)
+        arrivals = []
+        link.transmit(make_packet(size=1000), lambda p: arrivals.append(sim.now))
+        link.transmit(make_packet(size=1000), lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_queue_delay_visible(self):
+        sim = Simulator()
+        link = Link(sim, latency=0.0, bandwidth=8000.0)
+        link.transmit(make_packet(size=1000), lambda p: None)
+        assert link.queue_delay == pytest.approx(1.0)
+
+    def test_total_loss_invalid(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, loss=1.0)
+
+    def test_lossy_link_drops_some(self):
+        sim = Simulator(seed=3)
+        link = Link(sim, latency=0.001, loss=0.5, name="lossy")
+        delivered = []
+        for _ in range(200):
+            link.transmit(make_packet(size=100), delivered.append)
+        sim.run()
+        assert 50 < len(delivered) < 150
+        assert link.dropped_packets == 200 - len(delivered)
+
+    def test_jitter_spreads_arrivals(self):
+        sim = Simulator(seed=1)
+        link = Link(sim, latency=0.01, bandwidth=None, jitter=0.005,
+                    name="jittery")
+        arrivals = []
+        for _ in range(20):
+            link.transmit(make_packet(size=100),
+                          lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert len(set(arrivals)) > 10
+        assert all(0.01 <= t <= 0.015 + 1e-9 for t in arrivals)
+
+
+class TestNetwork:
+    def test_routing_to_attached_handler(self):
+        sim = Simulator()
+        network = Network(sim)
+        got = []
+        network.attach("b", got.append)
+        network.send(make_packet())
+        sim.run()
+        assert len(got) == 1
+
+    def test_unattached_destination_raises(self):
+        sim = Simulator()
+        network = Network(sim)
+        with pytest.raises(NetworkError):
+            network.send(make_packet(dst="ghost"))
+
+    def test_duplicate_attach_rejected(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.attach("x", lambda p: None)
+        with pytest.raises(NetworkError):
+            network.attach("x", lambda p: None)
+
+    def test_specific_route_preferred(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.attach("b", lambda p: None)
+        slow = Link(sim, latency=1.0, name="slow")
+        fast = Link(sim, latency=0.001, name="fast")
+        network.add_route(None, "b", slow)
+        network.add_route("a", "b", fast)
+        network.send(make_packet(src="a", dst="b"))
+        network.send(make_packet(src="other", dst="b"))
+        sim.run()
+        assert fast.sent_packets == 1
+        assert slow.sent_packets == 1
+
+    def test_default_link_created_lazily(self):
+        sim = Simulator()
+        network = Network(sim, default_link_kwargs={"latency": 0.123})
+        network.attach("b", lambda p: None)
+        link = network.link_for("a", "b")
+        assert link.latency == 0.123
+
+
+class TestRealtimeNode:
+    def test_protocol_dispatch(self):
+        sim = Simulator()
+        network = Network(sim)
+        node_a = RealtimeNode(sim, network, "a")
+        node_b = RealtimeNode(sim, network, "b")
+        got = []
+        node_b.register_protocol("raw", got.append)
+        node_a.send_packet(make_packet())
+        sim.run()
+        assert len(got) == 1
+
+    def test_unknown_protocol_dropped(self):
+        sim = Simulator()
+        network = Network(sim)
+        RealtimeNode(sim, network, "a")
+        node_b = RealtimeNode(sim, network, "b")
+        network.send(make_packet())  # node_b has no 'raw' handler
+        sim.run()
+        assert node_b is not None  # no exception raised
+
+    def test_schedule_returns_cancellable(self):
+        sim = Simulator()
+        network = Network(sim)
+        node = RealtimeNode(sim, network, "a")
+        fired = []
+        handle = node.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []

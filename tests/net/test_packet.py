@@ -1,0 +1,65 @@
+"""Tests for packet and payload types."""
+
+import pytest
+
+from repro.net import Packet, PgmDatagram, ReplicaEnvelope, TcpSegment, UdpDatagram
+from repro.net.packet import DEFAULT_MSS, TCP_HEADER_BYTES, UDP_HEADER_BYTES
+
+
+class TestPacket:
+    def test_unique_uids(self):
+        a = Packet(src="a", dst="b", protocol="x", payload=None, size=1)
+        b = Packet(src="a", dst="b", protocol="x", payload=None, size=1)
+        assert a.uid != b.uid
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src="a", dst="b", protocol="x", payload=None, size=0)
+
+    def test_copy_to_changes_destination_and_uid(self):
+        original = Packet(src="a", dst="b", protocol="x", payload="p",
+                          size=10)
+        copy = original.copy_to("c")
+        assert copy.dst == "c"
+        assert copy.src == "a"
+        assert copy.payload == "p"
+        assert copy.uid != original.uid
+
+
+class TestTcpSegment:
+    def seg(self, **kwargs):
+        defaults = dict(src_port=1, dst_port=2, seq=0, ack=0)
+        defaults.update(kwargs)
+        return TcpSegment(**defaults)
+
+    def test_flag_properties(self):
+        assert self.seg(flags="S").syn
+        assert self.seg(flags="SA").syn and self.seg(flags="SA").ack_flag
+        assert self.seg(flags="FA").fin
+        assert not self.seg(flags="A").syn
+
+    def test_wire_size_includes_header(self):
+        assert self.seg(data_len=100).wire_size() == \
+            TCP_HEADER_BYTES + 100
+        assert self.seg().wire_size() == TCP_HEADER_BYTES
+
+    def test_mss_constant(self):
+        assert DEFAULT_MSS == 1460
+
+
+class TestOtherPayloads:
+    def test_udp_wire_size(self):
+        dgram = UdpDatagram(src_port=1, dst_port=2, data_len=50)
+        assert dgram.wire_size() == UDP_HEADER_BYTES + 50
+
+    def test_pgm_wire_size(self):
+        dgram = PgmDatagram(group="g", sender="s", kind="odata", seq=0,
+                            data_len=10)
+        assert dgram.wire_size() == UDP_HEADER_BYTES + 16 + 10
+
+    def test_envelope_wraps_inner_size(self):
+        inner = Packet(src="a", dst="b", protocol="x", payload=None,
+                       size=100)
+        envelope = ReplicaEnvelope(vm="v", direction="in", seq=0,
+                                   inner=inner)
+        assert envelope.wire_size() == 120

@@ -1,0 +1,312 @@
+"""Tests for the TCP implementation."""
+
+import pytest
+
+from repro.net import Link, Network, RealtimeNode, TcpConfig, TcpStack
+from repro.net.tcp import TcpError
+from repro.sim import Simulator
+
+
+def make_pair(sim, latency=0.001, loss=0.0, bandwidth=1e9,
+              config=None):
+    network = Network(sim)
+    node_a = RealtimeNode(sim, network, "client")
+    node_b = RealtimeNode(sim, network, "server")
+    network.add_route("client", "server",
+                      Link(sim, latency=latency, loss=loss,
+                           bandwidth=bandwidth, name="c2s"))
+    network.add_route("server", "client",
+                      Link(sim, latency=latency, loss=loss,
+                           bandwidth=bandwidth, name="s2c"))
+    return (TcpStack(node_a, config), TcpStack(node_b, config), network)
+
+
+class TestHandshake:
+    def test_connect_establishes_both_ends(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        accepted = []
+        connected = []
+        server.listen(80, accepted.append)
+        conn = client.connect("server", 80)
+        conn.on_connect = lambda: connected.append(sim.now)
+        sim.run(until=1.0)
+        assert conn.connected
+        assert len(accepted) == 1
+        assert accepted[0].connected
+        # client learns at ~1 RTT
+        assert connected[0] == pytest.approx(0.002, abs=0.001)
+
+    def test_double_listen_rejected(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        server.listen(80, lambda c: None)
+        with pytest.raises(TcpError):
+            server.listen(80, lambda c: None)
+
+    def test_connect_to_closed_port_retries_then_aborts(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        closed = []
+        conn = client.connect("server", 81)
+        conn.on_close = lambda: closed.append(sim.now)
+        sim.run(until=120.0)
+        assert not conn.connected
+        assert len(closed) == 1
+
+    def test_syn_loss_recovered_by_retransmission(self):
+        sim = Simulator(seed=12)
+        client, server, _ = make_pair(sim, loss=0.4)
+        accepted = []
+        server.listen(80, accepted.append)
+        conn = client.connect("server", 80)
+        sim.run(until=30.0)
+        assert conn.connected or len(accepted) == 1
+
+
+class TestDataTransfer:
+    def test_single_message_delivery(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        got = []
+
+        def accept(conn):
+            conn.on_message = lambda tag, end: got.append(tag)
+
+        server.listen(80, accept)
+        conn = client.connect("server", 80)
+        conn.on_connect = lambda: conn.send_message(500, tag="request")
+        sim.run(until=2.0)
+        assert got == ["request"]
+
+    def test_large_transfer_segmented(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        total = []
+
+        def accept(conn):
+            conn.on_receive = total.append
+            conn.on_message = lambda tag, end: total.append(("done", tag))
+
+        server.listen(80, accept)
+        conn = client.connect("server", 80)
+        size = 100 * 1460
+        conn.on_connect = lambda: conn.send_message(size, tag="file")
+        sim.run(until=10.0)
+        assert ("done", "file") in total
+        assert sum(x for x in total if isinstance(x, int)) == size
+
+    def test_bidirectional_messages(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        log = []
+
+        def accept(conn):
+            def on_req(tag, end):
+                log.append(("server-got", tag))
+                conn.send_message(2000, tag="response")
+            conn.on_message = on_req
+
+        server.listen(80, accept)
+        conn = client.connect("server", 80)
+        conn.on_message = lambda tag, end: log.append(("client-got", tag))
+        conn.on_connect = lambda: conn.send_message(300, tag="request")
+        sim.run(until=2.0)
+        assert ("server-got", "request") in log
+        assert ("client-got", "response") in log
+
+    def test_multiple_messages_in_order(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        got = []
+
+        def accept(conn):
+            conn.on_message = lambda tag, end: got.append(tag)
+
+        server.listen(80, accept)
+        conn = client.connect("server", 80)
+
+        def send_all():
+            for i in range(5):
+                conn.send_message(3000, tag=i)
+
+        conn.on_connect = send_all
+        sim.run(until=5.0)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_transfer_over_lossy_link_completes(self):
+        sim = Simulator(seed=5)
+        client, server, _ = make_pair(sim, loss=0.1)
+        done = []
+
+        def accept(conn):
+            conn.on_message = lambda tag, end: done.append(sim.now)
+
+        server.listen(80, accept)
+        conn = client.connect("server", 80)
+        conn.on_connect = lambda: conn.send_message(30 * 1460, tag="blob")
+        sim.run(until=120.0)
+        assert len(done) == 1
+
+    def test_zero_length_message_rejected(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        server.listen(80, lambda c: None)
+        conn = client.connect("server", 80)
+        with pytest.raises(TcpError):
+            conn.send_message(0)
+
+
+class TestCongestionControl:
+    def test_slow_start_grows_cwnd(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        server.listen(80, lambda c: None)
+        conn = client.connect("server", 80)
+        initial = conn.cwnd
+        conn.on_connect = lambda: conn.send_message(50 * 1460, tag="x")
+        sim.run(until=5.0)
+        assert conn.cwnd > 4 * initial
+
+    def test_cwnd_limits_initial_burst(self):
+        """Only cwnd worth of data leaves in the first flight."""
+        sim = Simulator()
+        config = TcpConfig(initial_cwnd_segments=2)
+        client, server, _ = make_pair(sim, latency=0.05, config=config)
+        server.listen(80, lambda c: None)
+        conn = client.connect("server", 80)
+        conn.on_connect = lambda: conn.send_message(100 * 1460, tag="x")
+        # run just past the handshake: client got SYN+ACK at 0.1s
+        sim.run(until=0.12)
+        assert conn.snd_nxt - conn.snd_una <= 2 * 1460 + 1
+
+    def test_receive_window_caps_inflight(self):
+        sim = Simulator()
+        config = TcpConfig(receive_window=8 * 1460)
+        client, server, _ = make_pair(sim, latency=0.02, config=config)
+        server.listen(80, lambda c: None)
+        conn = client.connect("server", 80)
+        conn.on_connect = lambda: conn.send_message(1000 * 1460, tag="x")
+        max_inflight = []
+
+        def sample():
+            max_inflight.append(conn.snd_nxt - conn.snd_una)
+            sim.call_after(0.01, sample)
+
+        sim.call_after(0.1, sample)
+        sim.run(until=2.0)
+        assert max(max_inflight) <= 8 * 1460
+
+    def test_timeout_collapses_cwnd(self):
+        sim = Simulator(seed=3)
+        client, server, network = make_pair(sim)
+        server.listen(80, lambda c: None)
+        conn = client.connect("server", 80)
+        conn.on_connect = lambda: conn.send_message(20 * 1460, tag="x")
+        sim.run(until=1.0)
+        grown = conn.cwnd
+        # black-hole the forward path to force an RTO
+        network.add_route("client", "server",
+                          Link(sim, latency=0.001, loss=0.95, name="hole"))
+        conn.send_message(20 * 1460, tag="y")
+        sim.run(until=5.0)
+        assert conn.cwnd < grown
+
+
+class TestAckBehaviour:
+    def test_delayed_ack_coalesces(self):
+        """A one-way stream generates roughly one ACK per two segments."""
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        server.listen(80, lambda c: None)
+        conn = client.connect("server", 80)
+        conn.on_connect = lambda: conn.send_message(40 * 1460, tag="x")
+        sim.run(until=5.0)
+        # server sent: SYN+ACK + ACKs; data segments ~40
+        acks = server.segments_sent
+        assert acks < 40 * 0.8
+
+    def test_nagle_coalesces_small_writes(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim, latency=0.02)
+        server.listen(80, lambda c: None)
+        conn = client.connect("server", 80)
+
+        def send_burst():
+            for i in range(10):
+                conn.send_message(100, tag=i)
+
+        conn.on_connect = send_burst
+        sim.run(until=2.0)
+        data_segments = [s for s in range(client.segments_sent)]
+        # 10 x 100B: first segment leaves alone, the rest coalesce into
+        # very few segments instead of 9 more runts.
+        assert client.segments_sent <= 7
+
+    def test_nagle_off_sends_immediately(self):
+        sim = Simulator()
+        config = TcpConfig(nagle=False)
+        client, server, _ = make_pair(sim, latency=0.02, config=config)
+        server.listen(80, lambda c: None)
+        conn = client.connect("server", 80)
+
+        def send_burst():
+            for i in range(10):
+                conn.send_message(100, tag=i)
+
+        conn.on_connect = send_burst
+        sim.run(until=2.0)
+        assert client.segments_sent >= 11
+
+
+class TestClose:
+    def test_graceful_close_both_ends(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        events = []
+
+        def accept(conn):
+            conn.on_message = lambda tag, end: conn.close()
+            conn.on_close = lambda: events.append("server-closed")
+
+        server.listen(80, accept)
+        conn = client.connect("server", 80)
+        conn.on_close = lambda: events.append("client-closed")
+
+        def kickoff():
+            conn.send_message(500, tag="bye")
+            conn.close()
+
+        conn.on_connect = kickoff
+        sim.run(until=5.0)
+        assert "client-closed" in events
+        assert "server-closed" in events
+        assert conn.state == "closed"
+
+    def test_send_after_close_rejected(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        server.listen(80, lambda c: None)
+        conn = client.connect("server", 80)
+        conn.close()
+        with pytest.raises(TcpError):
+            conn.send_message(10)
+
+    def test_data_drains_before_fin(self):
+        sim = Simulator()
+        client, server, _ = make_pair(sim)
+        got = []
+
+        def accept(conn):
+            conn.on_message = lambda tag, end: got.append(tag)
+
+        server.listen(80, accept)
+        conn = client.connect("server", 80)
+
+        def kickoff():
+            conn.send_message(30 * 1460, tag="big")
+            conn.close()
+
+        conn.on_connect = kickoff
+        sim.run(until=10.0)
+        assert got == ["big"]

@@ -1,0 +1,122 @@
+"""Tests for the quasigroup and the Theorem 2 construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placement import (
+    IdempotentCommutativeQuasigroup,
+    bose_groups,
+    node_visit_counts,
+    theorem2_placement,
+    verify_edge_disjoint,
+)
+from repro.placement.bose import theorem2_vm_count
+
+
+class TestQuasigroup:
+    @given(st.integers(0, 12).map(lambda v: 2 * v + 1))
+    @settings(max_examples=13, deadline=None)
+    def test_all_axioms(self, order):
+        qg = IdempotentCommutativeQuasigroup(order)
+        assert qg.is_idempotent()
+        assert qg.is_commutative()
+        assert qg.is_quasigroup()
+
+    def test_even_order_rejected(self):
+        with pytest.raises(ValueError):
+            IdempotentCommutativeQuasigroup(4)
+
+    def test_out_of_range_rejected(self):
+        qg = IdempotentCommutativeQuasigroup(5)
+        with pytest.raises(ValueError):
+            qg.op(5, 0)
+
+    def test_table_rows_are_permutations(self):
+        qg = IdempotentCommutativeQuasigroup(7)
+        for row in qg.table():
+            assert sorted(row) == list(range(7))
+
+
+class TestBoseGroups:
+    @pytest.mark.parametrize("n", [9, 15, 21, 33])
+    def test_group_sizes(self, n):
+        v = (n - 3) // 6
+        groups = bose_groups(n)
+        assert len(groups) == v + 1
+        assert len(groups[0]) == (n // 3)
+        for group in groups[1:]:
+            assert len(group) == n
+
+    @pytest.mark.parametrize("n", [9, 15, 21, 33])
+    def test_all_triangles_edge_disjoint(self, n):
+        groups = bose_groups(n)
+        everything = [t for group in groups for t in group]
+        assert verify_edge_disjoint(everything)
+
+    @pytest.mark.parametrize("n", [9, 15, 21])
+    def test_full_construction_is_steiner_triple_system(self, n):
+        """G_0 .. G_v together decompose K_n completely: C(n,2)/3 triples."""
+        total = sum(len(g) for g in bose_groups(n))
+        assert total == n * (n - 1) // 6
+
+    @pytest.mark.parametrize("n", [9, 15, 21])
+    def test_g0_visits_each_node_once(self, n):
+        counts = node_visit_counts(bose_groups(n)[0])
+        assert all(v == 1 for v in counts.values())
+        assert len(counts) == n
+
+    @pytest.mark.parametrize("n", [15, 21])
+    def test_gt_visits_each_node_three_times(self, n):
+        for group in bose_groups(n)[1:]:
+            counts = node_visit_counts(group)
+            assert all(v == 3 for v in counts.values())
+            assert len(counts) == n
+
+    def test_invalid_n_rejected(self):
+        for bad in (8, 10, 12, 6, 0):
+            with pytest.raises(ValueError):
+                bose_groups(bad)
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("n", [9, 15, 21, 33])
+    def test_all_capacity_cases(self, n):
+        """For every c up to (n-1)/2: the construction is legal, respects
+        capacity, and places exactly the Theorem 2 count."""
+        for c in range(1, (n - 1) // 2 + 1):
+            placement = theorem2_placement(n, c)
+            assert verify_edge_disjoint(placement), (n, c)
+            counts = node_visit_counts(placement)
+            assert all(v <= c for v in counts.values()), (n, c)
+            assert len(placement) == theorem2_vm_count(n, c), (n, c)
+
+    def test_count_formulas(self):
+        n = 15
+        assert theorem2_vm_count(n, 3) == n * 3 // 3          # c ≡ 0
+        assert theorem2_vm_count(n, 4) == n * 4 // 3          # c ≡ 1
+        assert theorem2_vm_count(n, 5) == 4 * n // 3 + (n - 3) // 6  # c ≡ 2
+
+    def test_beats_isolation(self):
+        """Sec. VIII: Θ(cn) vs n."""
+        n = 33
+        c = (n - 1) // 2
+        assert len(theorem2_placement(n, c)) > 5 * n
+
+    def test_capacity_above_max_rejected(self):
+        with pytest.raises(ValueError):
+            theorem2_placement(9, 5)  # (9-1)/2 = 4
+
+    def test_zero_capacity_empty(self):
+        assert theorem2_placement(9, 0) == []
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            theorem2_placement(9, -1)
+
+    def test_full_capacity_uses_every_edge_when_possible(self):
+        """At c = (n-1)/2 with c ≡ 0 or 1 (mod 3), the placement is a
+        perfect decomposition of K_n."""
+        n = 15  # c = 7 ≡ 1 (mod 3)
+        placement = theorem2_placement(n, 7)
+        assert len(placement) == n * (n - 1) // 6

@@ -1,0 +1,126 @@
+"""Tests for the placement scheduler and utilisation report."""
+
+import pytest
+
+from repro.placement import (
+    PlacementError,
+    PlacementScheduler,
+    utilization_report,
+)
+
+
+class TestScheduler:
+    def test_single_vm_on_minimum_cloud(self):
+        scheduler = PlacementScheduler(3, capacity=1)
+        triangle = scheduler.place("vm-a")
+        assert triangle == (0, 1, 2)
+        with pytest.raises(PlacementError):
+            scheduler.place("vm-b")
+
+    def test_duplicate_vm_rejected(self):
+        scheduler = PlacementScheduler(9, capacity=2)
+        scheduler.place("vm-a")
+        with pytest.raises(PlacementError):
+            scheduler.place("vm-a")
+
+    def test_fills_pool_and_stays_legal(self):
+        scheduler = PlacementScheduler(9, capacity=4)
+        placed = 0
+        while True:
+            try:
+                scheduler.place(f"vm-{placed}")
+                placed += 1
+            except PlacementError:
+                break
+        assert placed == scheduler.pool_size
+        assert placed > 9  # beats isolation
+        assert scheduler.verify()
+
+    def test_nonoverlapping_coresidency(self):
+        """The StopWatch invariant, stated at the VM level: two distinct
+        VMs share at most one machine."""
+        scheduler = PlacementScheduler(15, capacity=5)
+        for i in range(20):
+            scheduler.place(f"vm-{i}")
+        vms = list(scheduler.assignments)
+        for a in vms:
+            for b in vms:
+                if a < b:
+                    shared = set(scheduler.assignments[a]) & \
+                        set(scheduler.assignments[b])
+                    assert len(shared) <= 1, (a, b)
+
+    def test_place_at_manual(self):
+        scheduler = PlacementScheduler(9, capacity=2)
+        assert scheduler.place_at("vm-a", (8, 0, 4)) == (0, 4, 8)
+        with pytest.raises(PlacementError):
+            scheduler.place_at("vm-b", (0, 4, 7))  # reuses edge (0,4)
+
+    def test_place_at_unknown_machine(self):
+        scheduler = PlacementScheduler(9, capacity=2)
+        with pytest.raises(PlacementError):
+            scheduler.place_at("vm-a", (0, 1, 9))
+
+    def test_remove_frees_capacity(self):
+        scheduler = PlacementScheduler(3, capacity=1)
+        scheduler.place_at("vm-a", (0, 1, 2))
+        scheduler.remove("vm-a")
+        assert scheduler.place_at("vm-b", (0, 1, 2)) == (0, 1, 2)
+
+    def test_remove_unknown_rejected(self):
+        scheduler = PlacementScheduler(3, capacity=1)
+        with pytest.raises(PlacementError):
+            scheduler.remove("ghost")
+
+    def test_capacity_clamped_to_max(self):
+        scheduler = PlacementScheduler(9, capacity=100)
+        assert scheduler.capacity == 4
+
+    def test_coresidents_query(self):
+        scheduler = PlacementScheduler(9, capacity=4)
+        scheduler.place_at("a", (0, 1, 2))
+        scheduler.place_at("b", (0, 3, 4))
+        scheduler.place_at("c", (5, 6, 7))
+        assert scheduler.coresidents_of("a") == {"b"}
+        assert scheduler.coresidents_of("c") == set()
+
+    def test_manual_then_pool_placement_interact(self):
+        scheduler = PlacementScheduler(9, capacity=4)
+        scheduler.place_at("manual", (0, 1, 2))
+        for i in range(5):
+            scheduler.place(f"auto-{i}")
+        assert scheduler.verify()
+
+    def test_too_few_machines_rejected(self):
+        with pytest.raises(PlacementError):
+            PlacementScheduler(2, capacity=1)
+
+    def test_load_tracking(self):
+        scheduler = PlacementScheduler(9, capacity=4)
+        scheduler.place_at("a", (0, 1, 2))
+        assert scheduler.load_of(0) == 1
+        assert scheduler.load_of(3) == 0
+
+    def test_non_bose_cluster_sizes_work(self):
+        for n in (7, 10, 12, 16):
+            scheduler = PlacementScheduler(n, capacity=3)
+            scheduler.place("vm")
+            assert scheduler.verify()
+
+
+class TestUtilizationReport:
+    def test_theta_cn_scaling(self):
+        report = utilization_report(33, capacity=16)
+        assert report.stopwatch_vms >= 0.9 * report.theoretical_theta_cn
+        assert report.stopwatch_vms > 4 * report.isolation_vms
+
+    def test_bound_respected(self):
+        for n, c in ((9, 4), (15, 7), (21, 10)):
+            report = utilization_report(n, c)
+            assert report.stopwatch_vms <= report.packing_upper_bound
+
+    def test_scaling_with_machines(self):
+        """Doubling machines (at proportional capacity) ~quadruples VMs."""
+        small = utilization_report(15, 7)
+        large = utilization_report(33, 16)
+        assert large.stopwatch_vms > 3 * small.stopwatch_vms

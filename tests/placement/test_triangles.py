@@ -1,0 +1,99 @@
+"""Tests for triangle packing primitives and Theorem 1."""
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placement import (
+    greedy_triangle_packing,
+    max_triangle_packing_size,
+    node_visit_counts,
+    verify_edge_disjoint,
+)
+from repro.placement.triangles import edges_of, normalize
+
+
+class TestNormalize:
+    def test_sorts_vertices(self):
+        assert normalize((3, 1, 2)) == (1, 2, 3)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            normalize((1, 1, 2))
+        with pytest.raises(ValueError):
+            normalize((1, 2))
+
+    def test_edges(self):
+        assert edges_of((3, 1, 2)) == [(1, 2), (1, 3), (2, 3)]
+
+
+class TestTheorem1:
+    def test_tiny_graphs(self):
+        assert max_triangle_packing_size(2) == 0
+        assert max_triangle_packing_size(3) == 1
+        assert max_triangle_packing_size(4) == 1
+
+    def test_steiner_triple_sizes(self):
+        """For n ≡ 1 or 3 (mod 6) a full decomposition exists:
+        k = C(n,2)/3 exactly."""
+        for n in (7, 9, 13, 15, 21):
+            assert max_triangle_packing_size(n) == comb(n, 2) // 3
+
+    def test_even_case_formula(self):
+        for n in (6, 8, 10, 12):
+            expected = (comb(n, 2) - n // 2) // 3
+            assert max_triangle_packing_size(n) == expected
+
+    def test_odd_leave_never_one_or_two(self):
+        """Theorem 1(i): for odd n the leave C(n,2) - 3k avoids {1, 2}."""
+        for n in range(3, 60, 2):
+            k = max_triangle_packing_size(n)
+            assert comb(n, 2) - 3 * k not in (1, 2)
+
+    def test_quadratic_growth(self):
+        """k = Θ(n^2): the Sec. VIII headline."""
+        assert max_triangle_packing_size(100) >= 100 * 99 / 6 - 100
+        assert max_triangle_packing_size(200) >= 4 * max_triangle_packing_size(100) * 0.9
+
+
+class TestVerification:
+    def test_disjoint_accepted(self):
+        assert verify_edge_disjoint([(0, 1, 2), (0, 3, 4)])
+
+    def test_shared_edge_detected(self):
+        assert not verify_edge_disjoint([(0, 1, 2), (0, 1, 3)])
+
+    def test_shared_vertex_ok(self):
+        assert verify_edge_disjoint([(0, 1, 2), (0, 3, 4), (0, 5, 6)])
+
+    def test_visit_counts(self):
+        counts = node_visit_counts([(0, 1, 2), (0, 3, 4)])
+        assert counts == {0: 2, 1: 1, 2: 1, 3: 1, 4: 1}
+
+
+class TestGreedyPacking:
+    @given(st.integers(3, 25))
+    @settings(max_examples=15, deadline=None)
+    def test_always_legal(self, n):
+        packing = greedy_triangle_packing(n)
+        assert verify_edge_disjoint(packing)
+
+    @given(st.integers(5, 20), st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_respects_capacity(self, n, capacity):
+        packing = greedy_triangle_packing(n, capacity)
+        counts = node_visit_counts(packing)
+        assert all(v <= capacity for v in counts.values())
+
+    def test_reasonably_dense(self):
+        """Greedy on K_15 should reach a decent fraction of the optimum."""
+        packing = greedy_triangle_packing(15)
+        assert len(packing) >= 0.6 * max_triangle_packing_size(15)
+
+    def test_beats_isolation_quickly(self):
+        """Even greedy packing hosts far more VMs than one-per-machine."""
+        n = 21
+        packing = greedy_triangle_packing(n, capacity=(n - 1) // 2)
+        assert len(packing) > 2 * n

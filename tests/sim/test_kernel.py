@@ -1,0 +1,136 @@
+"""Tests for the discrete-event loop itself."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.call_after(2.0, fired.append, "b")
+    sim.call_after(1.0, fired.append, "a")
+    sim.call_after(3.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in ("first", "second", "third"):
+        sim.call_at(5.0, fired.append, tag)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    times = []
+
+    def probe():
+        times.append(sim.now)
+
+    sim.call_after(1.5, lambda: sim.call_soon(probe))
+    sim.run()
+    assert times == [1.5]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.call_after(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-0.1, lambda: None)
+
+
+def test_cancelled_call_does_not_fire():
+    sim = Simulator()
+    fired = []
+    call = sim.call_after(1.0, fired.append, "x")
+    call.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    fired = []
+    sim.call_after(1.0, fired.append, 1)
+    sim.call_after(10.0, fired.append, 10)
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    # the 10.0 event is still pending and fires on the next run
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    sim = Simulator()
+    sim.call_after(1.0, lambda: None)
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.call_after(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_aborts_run():
+    sim = Simulator()
+    fired = []
+    sim.call_after(1.0, fired.append, "a")
+    sim.call_after(2.0, sim.stop)
+    sim.call_after(3.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 2.0
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    call = sim.call_after(1.0, lambda: None)
+    sim.call_after(2.0, lambda: None)
+    call.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_event_count_tracks_fired_events():
+    sim = Simulator()
+    for i in range(4):
+        sim.call_after(float(i), lambda: None)
+    sim.run()
+    assert sim.event_count == 4
+
+
+def test_nested_scheduling_during_run():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.call_after(1.0, chain, n + 1)
+
+    sim.call_after(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 4.0

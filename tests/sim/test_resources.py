@@ -1,0 +1,95 @@
+"""Tests for capacity resources."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, SimulationError
+
+
+def test_acquire_within_capacity_is_immediate():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    times = []
+
+    def user(tag):
+        yield res.acquire()
+        times.append((tag, sim.now))
+        yield 1.0
+        res.release()
+
+    sim.process(user("a"))
+    sim.process(user("b"))
+    sim.run()
+    assert times == [("a", 0.0), ("b", 0.0)]
+
+
+def test_contention_queues_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    grants = []
+
+    def user(tag, hold):
+        yield res.acquire()
+        grants.append((tag, sim.now))
+        yield hold
+        res.release()
+
+    sim.process(user("a", 2.0))
+    sim.process(user("b", 1.0))
+    sim.process(user("c", 1.0))
+    sim.run()
+    assert grants == [("a", 0.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_using_helper_releases_on_completion():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user():
+        yield from res.using(1.0)
+
+    sim.process(user())
+    sim.run()
+    assert res.in_use == 0
+    assert sim.now == 1.0
+
+
+def test_release_idle_resource_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_utilization_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user():
+        yield from res.using(4.0)
+
+    sim.process(user())
+    sim.run(until=8.0)
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_queue_length_visible():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        yield from res.using(10.0)
+
+    def waiter():
+        yield res.acquire()
+        res.release()
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run(until=5.0)
+    assert res.queue_length == 1

@@ -1,0 +1,93 @@
+"""Tests for RNG registry and tracing."""
+
+from repro.sim import RngRegistry, Simulator, Trace
+from repro.sim.monitor import MetricSet
+
+
+def test_same_name_same_stream_object():
+    rng = RngRegistry(1)
+    assert rng.stream("a") is rng.stream("a")
+
+
+def test_streams_are_reproducible_across_registries():
+    draws1 = [RngRegistry(5).stream("x").random() for _ in range(1)]
+    draws2 = [RngRegistry(5).stream("x").random() for _ in range(1)]
+    assert draws1 == draws2
+
+
+def test_different_names_give_independent_streams():
+    rng = RngRegistry(5)
+    a = [rng.stream("a").random() for _ in range(5)]
+    b = [rng.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_isolation_from_creation_order():
+    rng1 = RngRegistry(9)
+    _ = rng1.stream("noise").random()
+    value1 = rng1.stream("workload").random()
+
+    rng2 = RngRegistry(9)
+    value2 = rng2.stream("workload").random()
+    assert value1 == value2
+
+
+def test_fork_derives_new_universe():
+    rng = RngRegistry(3)
+    child_a = rng.fork("hostA")
+    child_b = rng.fork("hostB")
+    assert child_a.stream("jitter").random() != child_b.stream("jitter").random()
+    # forks are reproducible too
+    again = RngRegistry(3).fork("hostA")
+    assert again.stream("jitter").random() == RngRegistry(3).fork("hostA").stream("jitter").random()
+
+
+def test_trace_select_and_times():
+    trace = Trace()
+    trace.record(1.0, "pkt.in", vm="a", size=10)
+    trace.record(2.0, "pkt.in", vm="b", size=20)
+    trace.record(3.0, "pkt.out", vm="a")
+    assert trace.times("pkt.in", vm="a") == [1.0]
+    assert trace.count("pkt.in") == 2
+    assert len(trace) == 3
+
+
+def test_trace_category_whitelist():
+    trace = Trace(categories={"keep"})
+    trace.record(1.0, "keep")
+    trace.record(2.0, "drop")
+    assert len(trace) == 1
+
+
+def test_trace_disabled_records_nothing():
+    trace = Trace(enabled=False)
+    trace.record(1.0, "x")
+    assert len(trace) == 0
+
+
+def test_trace_subscribe_streams_records():
+    trace = Trace()
+    seen = []
+    trace.subscribe(seen.append)
+    trace.record(1.0, "a")
+    assert len(seen) == 1
+
+
+def test_simulator_owns_trace_and_rng():
+    sim = Simulator(seed=11)
+    sim.trace.record(sim.now, "boot")
+    assert sim.rng.stream("x") is sim.rng.stream("x")
+    assert sim.trace.count("boot") == 1
+
+
+def test_metricset_basics():
+    metrics = MetricSet()
+    metrics.incr("packets")
+    metrics.incr("packets", 2)
+    metrics.add("bytes", 10.5)
+    metrics.observe("latency", 1.0)
+    metrics.observe("latency", 3.0)
+    assert metrics.counters["packets"] == 3
+    assert metrics.mean("latency") == 2.0
+    snap = metrics.snapshot()
+    assert snap["sample_counts"]["latency"] == 2

@@ -1,0 +1,151 @@
+"""Tests for the distribution objects."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    Empirical,
+    Exponential,
+    MedianOfThree,
+    Shifted,
+    Sum,
+    Uniform,
+)
+
+
+class TestExponential:
+    def test_cdf_known_values(self):
+        dist = Exponential(1.0)
+        assert dist.cdf(0.0) == 0.0
+        assert dist.cdf(1.0) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_mean(self):
+        assert Exponential(0.5).mean() == 2.0
+
+    def test_quantile_inverts_cdf(self):
+        dist = Exponential(2.0)
+        for p in (0.1, 0.5, 0.9):
+            assert dist.cdf(dist.quantile(p)) == pytest.approx(p)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_sample_mean_close_to_theory(self):
+        rng = random.Random(1)
+        dist = Exponential(1.0)
+        draws = dist.samples(rng, 5000)
+        assert sum(draws) / len(draws) == pytest.approx(1.0, rel=0.1)
+
+
+class TestUniform:
+    def test_cdf_shape(self):
+        dist = Uniform(1.0, 3.0)
+        assert dist.cdf(0.0) == 0.0
+        assert dist.cdf(2.0) == 0.5
+        assert dist.cdf(5.0) == 1.0
+
+    def test_mean_and_support(self):
+        dist = Uniform(0.0, 4.0)
+        assert dist.mean() == 2.0
+        assert dist.support() == (0.0, 4.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(1.0, 1.0)
+
+
+class TestShifted:
+    def test_cdf_is_translated(self):
+        base = Exponential(1.0)
+        shifted = Shifted(base, 5.0)
+        assert shifted.cdf(5.0) == base.cdf(0.0)
+        assert shifted.cdf(6.0) == base.cdf(1.0)
+
+    def test_mean_adds_offset(self):
+        assert Shifted(Exponential(1.0), 3.0).mean() == pytest.approx(4.0)
+
+    def test_quantile_adds_offset(self):
+        base = Exponential(1.0)
+        assert Shifted(base, 2.0).quantile(0.5) == \
+            pytest.approx(base.quantile(0.5) + 2.0)
+
+
+class TestMedianOfThree:
+    def test_iid_cdf_closed_form(self):
+        """For iid components: F_{2:3} = 3F^2 - 2F^3."""
+        base = Exponential(1.0)
+        med = MedianOfThree(base, base, base)
+        for x in (0.5, 1.0, 2.0):
+            f = base.cdf(x)
+            assert med.cdf(x) == pytest.approx(3 * f**2 - 2 * f**3)
+
+    def test_sampling_matches_cdf(self):
+        rng = random.Random(7)
+        base = Exponential(1.0)
+        victim = Exponential(0.5)
+        med = MedianOfThree(victim, base, base)
+        draws = med.samples(rng, 4000)
+        for x in (0.5, 1.0, 2.0):
+            empirical = sum(1 for d in draws if d <= x) / len(draws)
+            assert empirical == pytest.approx(med.cdf(x), abs=0.03)
+
+    def test_median_cdf_between_extremes(self):
+        base = Exponential(1.0)
+        med = MedianOfThree(base, base, base)
+        for x in (0.3, 1.0, 3.0):
+            f = base.cdf(x)
+            min_cdf = 1 - (1 - f) ** 3
+            max_cdf = f ** 3
+            assert max_cdf <= med.cdf(x) <= min_cdf
+
+
+class TestSum:
+    def test_sum_mean(self):
+        total = Sum(Exponential(1.0), Uniform(0.0, 2.0))
+        assert total.mean() == pytest.approx(2.0)
+
+    def test_sum_cdf_against_closed_form(self):
+        from repro.stats import ExponentialPlusUniform
+        numeric = Sum(Exponential(1.0), Uniform(0.0, 3.0))
+        closed = ExponentialPlusUniform(1.0, 3.0)
+        for x in (0.5, 1.0, 2.0, 3.5, 6.0):
+            assert numeric.cdf(x) == pytest.approx(closed.cdf(x), abs=0.005)
+
+
+class TestEmpirical:
+    def test_cdf_step_function(self):
+        dist = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(2.0) == 0.5
+        assert dist.cdf(4.0) == 1.0
+
+    def test_mean(self):
+        assert Empirical([1.0, 3.0]).mean() == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+    def test_quantile(self):
+        dist = Empirical(list(range(1, 101)))
+        assert dist.quantile(0.5) == 50
+        assert dist.quantile(0.99) == 99
+
+    def test_sample_draws_from_data(self):
+        rng = random.Random(3)
+        dist = Empirical([5.0, 6.0])
+        assert all(dist.sample(rng) in (5.0, 6.0) for _ in range(20))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_cdf_monotone_and_bounded(self, samples):
+        dist = Empirical(samples)
+        lo, hi = dist.support()
+        assert dist.cdf(lo - 1) == 0.0
+        assert dist.cdf(hi) == 1.0
+        assert dist.cdf(lo) <= dist.cdf(hi)

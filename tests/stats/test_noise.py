@@ -1,0 +1,164 @@
+"""Tests for the uniform-noise comparison (Fig. 8)."""
+
+import math
+import random
+
+import pytest
+
+from repro.stats import (
+    ExponentialPlusUniform,
+    abs_difference_cdf_exponentials,
+    delta_n_for_sync_probability,
+    min_noise_bound_matching_stopwatch,
+    noise_comparison_table,
+    noise_kl,
+    noise_observations,
+    protection_cost_curve,
+    stein_observations,
+    stopwatch_kl,
+    stopwatch_observations,
+)
+
+
+class TestExponentialPlusUniform:
+    def test_cdf_zero_below_support(self):
+        assert ExponentialPlusUniform(1.0, 2.0).cdf(0.0) == 0.0
+
+    def test_cdf_monotone_to_one(self):
+        dist = ExponentialPlusUniform(1.0, 2.0)
+        values = [dist.cdf(x) for x in (0.5, 1.0, 2.0, 5.0, 30.0)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_mean(self):
+        assert ExponentialPlusUniform(0.5, 4.0).mean() == 4.0
+
+    def test_cdf_matches_monte_carlo(self):
+        rng = random.Random(5)
+        dist = ExponentialPlusUniform(1.0, 3.0)
+        draws = [dist.sample(rng) for _ in range(5000)]
+        for x in (1.0, 3.0, 5.0):
+            empirical = sum(1 for d in draws if d <= x) / len(draws)
+            assert empirical == pytest.approx(dist.cdf(x), abs=0.03)
+
+    def test_pdf_integrates_to_cdf(self):
+        dist = ExponentialPlusUniform(1.0, 2.0)
+        steps = 4000
+        width = 6.0 / steps
+        integral = sum(dist.pdf(i * width) * width for i in range(1, steps))
+        assert integral == pytest.approx(dist.cdf(6.0), abs=1e-3)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialPlusUniform(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ExponentialPlusUniform(1.0, 0.0)
+
+
+class TestDeltaN:
+    def test_abs_difference_cdf_closed_form(self):
+        """Monte-Carlo check of P[|X-Y| <= d]."""
+        rng = random.Random(9)
+        hits = 0
+        trials = 20000
+        for _ in range(trials):
+            x = rng.expovariate(1.0)
+            y = rng.expovariate(0.5)
+            if abs(x - y) <= 2.0:
+                hits += 1
+        assert hits / trials == pytest.approx(
+            abs_difference_cdf_exponentials(1.0, 0.5, 2.0), abs=0.01)
+
+    def test_delta_n_meets_probability(self):
+        delta = delta_n_for_sync_probability(1.0, 0.5, 0.9999)
+        assert abs_difference_cdf_exponentials(1.0, 0.5, delta) >= 0.9999
+        # and it is minimal (slightly smaller offset fails)
+        assert abs_difference_cdf_exponentials(1.0, 0.5, delta * 0.99) < 0.9999
+
+    def test_delta_n_paper_magnitude(self):
+        """For λ=1, λ'=1/2 the 0.9999 criterion gives Δn ~ 17.6."""
+        assert delta_n_for_sync_probability(1.0, 0.5) == \
+            pytest.approx(17.61, abs=0.05)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            delta_n_for_sync_probability(1.0, 0.5, 1.0)
+
+
+class TestKlAttacker:
+    def test_stopwatch_kl_much_smaller_than_direct(self):
+        """The median microaggregation shrinks the attacker's
+        per-observation information by a large factor."""
+        direct_kl = math.log(0.5) + (1.0 / 0.5 - 1.0)  # KL(Exp.5 || Exp1)
+        sw = stopwatch_kl(1.0, 0.5)
+        assert sw < direct_kl / 4
+
+    def test_noise_kl_decays_with_bound(self):
+        kls = [noise_kl(1.0, 0.5, b) for b in (5.0, 20.0, 80.0)]
+        assert kls[0] > kls[1] > kls[2] > 0
+
+    def test_noise_kl_roughly_inverse_in_bound(self):
+        """The tail cannot be suppressed: KL ~ c/b, so quadrupling b cuts
+        KL by roughly 4x (between 2x and 8x)."""
+        ratio = noise_kl(1.0, 0.5, 20.0) / noise_kl(1.0, 0.5, 80.0)
+        assert 2.0 < ratio < 8.0
+
+    def test_stein_observations(self):
+        assert stein_observations(0.1, 0.99) == math.ceil(math.log(100) / 0.1)
+        assert stein_observations(0.0, 0.9) == 10**9
+        with pytest.raises(ValueError):
+            stein_observations(0.1, 1.5)
+
+
+class TestMatching:
+    def test_noise_observations_grow_with_bound(self):
+        counts = [noise_observations(1.0, 0.5, b, 0.95) for b in (2.0, 20.0)]
+        assert counts[1] > counts[0]
+
+    def test_min_bound_achieves_target(self):
+        target = stopwatch_observations(1.0, 0.5, 0.95)
+        bound = min_noise_bound_matching_stopwatch(1.0, 0.5, 0.95, target)
+        achieved = noise_observations(1.0, 0.5, bound, 0.95)
+        assert achieved >= target
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            min_noise_bound_matching_stopwatch(1.0, 0.5, 0.95, 0)
+
+
+class TestComparisonTable:
+    def test_table_structure_and_invariants(self):
+        rows = noise_comparison_table(1.0, 0.5, [0.7, 0.9])
+        assert len(rows) == 2
+        for row in rows:
+            # paper: E[X_{2:3}+Δn] and E[X'_{2:3}+Δn] nearly the same
+            assert row.stopwatch_delay_victim == pytest.approx(
+                row.stopwatch_delay_baseline, rel=0.15)
+            # noise delays differ by exactly the mean gap 1/λ' - 1/λ
+            assert row.noise_delay_victim - row.noise_delay_baseline == \
+                pytest.approx(1.0, abs=1e-9)
+            assert row.observations >= 1
+            assert row.noise_bound > 0
+
+    def test_observations_grow_with_confidence(self):
+        rows = noise_comparison_table(1.0, 0.5, [0.7, 0.99])
+        assert rows[1].observations > rows[0].observations
+
+
+class TestProtectionCostCurve:
+    def test_noise_cost_grows_linearly_stopwatch_flat(self):
+        """The appendix's headline scaling claim."""
+        points = protection_cost_curve(1.0, 0.5, [200, 400, 1600],
+                                       attacker="kl")
+        bounds = [p.noise_bound for p in points]
+        assert bounds == sorted(bounds)
+        # roughly linear: 8x target -> between 3x and 20x bound
+        growth = bounds[2] / bounds[0]
+        assert 3.0 < growth < 20.0
+        # StopWatch delay constant across the sweep
+        sw = {round(p.stopwatch_delay, 6) for p in points}
+        assert len(sw) == 1
+
+    def test_noise_eventually_costlier_than_stopwatch(self):
+        points = protection_cost_curve(1.0, 0.5, [100, 10000], attacker="kl")
+        assert points[-1].noise_delay > points[-1].stopwatch_delay

@@ -1,0 +1,112 @@
+"""Tests for order statistics and appendix Theorems 3 & 4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    Exponential,
+    ks_distance,
+    ks_distance_of_medians,
+    median_of_three_cdf,
+    order_statistic_cdf,
+    theorem3_bound_factor,
+)
+from repro.stats.orderstats import default_grid
+
+
+GRID = list(np.linspace(0.001, 30.0, 3000))
+
+
+class TestOrderStatisticCdf:
+    def test_min_of_three(self):
+        f = Exponential(1.0).cdf
+        minimum = order_statistic_cdf([f, f, f], 1)
+        for x in (0.5, 1.0, 2.0):
+            assert minimum(x) == pytest.approx(1 - (1 - f(x)) ** 3)
+
+    def test_max_of_three(self):
+        f = Exponential(1.0).cdf
+        maximum = order_statistic_cdf([f, f, f], 3)
+        for x in (0.5, 1.0, 2.0):
+            assert maximum(x) == pytest.approx(f(x) ** 3)
+
+    def test_median_general_matches_closed_form(self):
+        f1, f2, f3 = (Exponential(r).cdf for r in (1.0, 0.5, 2.0))
+        general = order_statistic_cdf([f1, f2, f3], 2)
+        closed = median_of_three_cdf(f1, f2, f3)
+        for x in (0.2, 1.0, 3.0):
+            assert general(x) == pytest.approx(closed(x))
+
+    def test_invalid_order_rejected(self):
+        f = Exponential(1.0).cdf
+        with pytest.raises(ValueError):
+            order_statistic_cdf([f, f, f], 0)
+        with pytest.raises(ValueError):
+            order_statistic_cdf([f, f, f], 4)
+
+    def test_single_variable_is_identity(self):
+        f = Exponential(1.0).cdf
+        ident = order_statistic_cdf([f], 1)
+        assert ident(1.3) == pytest.approx(f(1.3))
+
+
+class TestKsDistance:
+    def test_identical_cdfs_zero(self):
+        f = Exponential(1.0).cdf
+        assert ks_distance(f, f, GRID) == 0.0
+
+    def test_known_exponential_pair(self):
+        """D(Exp(1), Exp(1/2)) has a closed-form maximiser."""
+        f = Exponential(1.0).cdf
+        g = Exponential(0.5).cdf
+        # max of |e^{-x/2} - e^{-x}| at x = 2 ln 2: value 1/4.
+        assert ks_distance(f, g, GRID) == pytest.approx(0.25, abs=1e-3)
+
+    def test_empty_grid_rejected(self):
+        f = Exponential(1.0).cdf
+        with pytest.raises(ValueError):
+            ks_distance(f, f, [])
+
+
+class TestTheorem3:
+    """D(F_{2:3}, F'_{2:3}) < D(F1, F'1) for overlapping F2, F3."""
+
+    def test_paper_example(self):
+        f = Exponential(1.0).cdf
+        f_victim = Exponential(0.5).cdf
+        d_median = ks_distance_of_medians(f, f_victim, f, f, GRID)
+        d_single = ks_distance(f, f_victim, GRID)
+        assert d_median < d_single
+
+    @given(st.floats(0.2, 5.0), st.floats(0.2, 5.0), st.floats(0.2, 5.0),
+           st.floats(0.2, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_attenuation_for_random_exponentials(self, r1, r1v, r2, r3):
+        f1, f1v = Exponential(r1).cdf, Exponential(r1v).cdf
+        f2, f3 = Exponential(r2).cdf, Exponential(r3).cdf
+        d_median = ks_distance_of_medians(f1, f1v, f2, f3, GRID)
+        d_single = ks_distance(f1, f1v, GRID)
+        factor = theorem3_bound_factor(f2, f3, GRID)
+        assert factor < 1.0 + 1e-9
+        assert d_median <= factor * d_single + 1e-9
+
+    def test_theorem4_factor_is_half_for_identical(self):
+        """When F2 = F3 the attenuation factor is exactly 1/2."""
+        f = Exponential(1.0).cdf
+        assert theorem3_bound_factor(f, f, GRID) == pytest.approx(0.5, abs=1e-4)
+
+    def test_theorem4_bound(self):
+        f = Exponential(1.0).cdf
+        f_victim = Exponential(0.5).cdf
+        d_median = ks_distance_of_medians(f, f_victim, f, f, GRID)
+        d_single = ks_distance(f, f_victim, GRID)
+        assert d_median <= 0.5 * d_single + 1e-9
+
+
+def test_default_grid_covers_supports():
+    grid = default_grid([Exponential(1.0), Exponential(0.1)], points=100)
+    assert len(grid) == 100
+    assert grid[0] <= 0.0 + 1e-9
+    assert grid[-1] >= Exponential(0.1).quantile(1 - 1e-6)

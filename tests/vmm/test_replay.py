@@ -1,0 +1,115 @@
+"""Tests for deterministic execution record/replay."""
+
+import random
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import DEFAULT, PASSTHROUGH
+from repro.net import UdpStack
+from repro.sim import Simulator, Trace
+from repro.sim.rng import _derive_seed
+from repro.vmm import ExecutionRecorder, ReplayEngine, ReplayMismatch
+from repro.workloads import EchoServer
+from repro.workloads.parsec import Dedup
+
+
+def record_echo_run(config=DEFAULT, seed=17, pings=10):
+    """Run an echo VM with a recorder on replica 0."""
+    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    cloud = Cloud(sim, machines=3, config=config)
+    vm = cloud.create_vm("echo", EchoServer)
+    recorder = ExecutionRecorder(vm.vmms[0])
+    client = cloud.add_client("client:1")
+    udp = UdpStack(client)
+    udp.bind(9000, lambda d, s: None)
+
+    def send(i=0):
+        if i < pings:
+            udp.send("vm:echo", 9000, 7, 64, tag=i)
+            sim.call_after(0.03, send, i + 1)
+
+    sim.call_after(0.05, send)
+    cloud.run(until=1.5)
+    workload_seed = _derive_seed(sim.rng.root_seed, "workload.echo")
+    return recorder.recording, workload_seed
+
+
+class TestRecording:
+    def test_captures_all_event_kinds(self):
+        recording, _ = record_echo_run()
+        assert len(recording.net) == 10
+        assert len(recording.outputs) == 10
+        assert len(recording.ticks) > 100  # 250 Hz over ~1.5 s
+        assert recording.horizon_instr > 0
+
+    def test_events_pinned_to_instruction_counts(self):
+        recording, _ = record_echo_run()
+        instrs = [instr for _, instr, _ in recording.net]
+        assert instrs == sorted(instrs)
+        # deliveries happen at exit boundaries
+        interval = recording.config.exit_interval_branches
+        assert all(instr % interval == 0 for instr in instrs)
+
+
+class TestReplay:
+    def test_replay_reproduces_outputs_exactly(self):
+        recording, workload_seed = record_echo_run()
+        engine = ReplayEngine(recording, EchoServer,
+                              random.Random(workload_seed))
+        outputs = engine.run()
+        assert len(outputs) == len(recording.outputs)
+        for (seq, instr, packet), (r_seq, r_instr, r_packet) in \
+                zip(outputs, recording.outputs):
+            assert (seq, instr) == (r_seq, r_instr)
+            assert packet.dst == r_packet.dst
+            assert packet.size == r_packet.size
+
+    def test_replay_of_baseline_run(self):
+        recording, workload_seed = record_echo_run(config=PASSTHROUGH)
+        engine = ReplayEngine(recording, EchoServer,
+                              random.Random(workload_seed))
+        outputs = engine.run()
+        assert len(outputs) == len(recording.outputs)
+
+    def test_wrong_workload_seed_detected(self):
+        """A replay with different workload randomness diverges, and the
+        strict engine reports it rather than silently differing."""
+        recording, workload_seed = record_echo_run()
+        engine = ReplayEngine(
+            recording,
+            lambda guest: EchoServer(guest,
+                                     compute_branches=999),  # perturbed
+            random.Random(workload_seed))
+        with pytest.raises(ReplayMismatch):
+            engine.run()
+
+    def test_replay_with_disk_workload(self):
+        sim = Simulator(seed=23, trace=Trace(enabled=False))
+        cloud = Cloud(sim, machines=3, config=DEFAULT)
+        vm = cloud.create_vm("dedup", lambda g: Dedup(g, scale=0.1))
+        recorder = ExecutionRecorder(vm.vmms[0])
+        cloud.run(until=10.0)
+        live = vm.workloads[0]
+        assert live.finished
+        assert len(recorder.recording.disk) > 5
+
+        workload_seed = _derive_seed(sim.rng.root_seed, "workload.dedup")
+        holder = []
+        engine = ReplayEngine(
+            recorder.recording,
+            lambda g: holder.append(Dedup(g, scale=0.1)) or holder[-1],
+            random.Random(workload_seed))
+        engine.run()
+        replayed = holder[0]
+        assert replayed.finished
+        assert replayed.result == live.result
+        assert replayed.finish_virt == live.finish_virt
+
+    def test_replay_is_time_free(self):
+        """Replay consumes no simulated time -- it is pure computation."""
+        recording, workload_seed = record_echo_run()
+        engine = ReplayEngine(recording, EchoServer,
+                              random.Random(workload_seed))
+        engine.run()
+        assert engine.instr >= recording.horizon_instr

@@ -1,0 +1,81 @@
+"""Tests for the echo workload and ping client."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import DEFAULT, PASSTHROUGH
+from repro.sim import Simulator, Trace
+from repro.workloads import EchoServer, PingClient
+
+
+def echo_world(config, seed=5, mean_interval=0.02, spacing_fn=None):
+    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    cloud = Cloud(sim, machines=3, config=config)
+    holder = []
+    cloud.create_vm("echo",
+                    lambda g: holder.append(EchoServer(g)) or holder[-1])
+    client = cloud.add_client("pinger:1")
+    pinger = PingClient(client, "vm:echo", mean_interval=mean_interval,
+                        spacing_fn=spacing_fn)
+    sim.call_after(0.05, pinger.start)
+    return sim, cloud, holder, pinger
+
+
+class TestEchoServer:
+    def test_replies_to_all_pings(self):
+        sim, cloud, _, pinger = echo_world(PASSTHROUGH)
+        cloud.run(until=1.0)
+        assert pinger.sent > 10
+        assert len(pinger.reply_times) >= pinger.sent - 2  # tail in flight
+
+    def test_request_virts_recorded_per_packet(self):
+        sim, cloud, holder, pinger = echo_world(DEFAULT)
+        cloud.run(until=1.0)
+        server = holder[0]
+        assert len(server.request_virts) >= pinger.sent - 2
+        assert server.request_virts == sorted(server.request_virts)
+
+    def test_inter_arrival_derivation(self):
+        sim, cloud, holder, _ = echo_world(PASSTHROUGH)
+        cloud.run(until=1.0)
+        server = holder[0]
+        gaps = server.inter_arrival_virts()
+        assert len(gaps) == len(server.request_virts) - 1
+        assert all(g >= 0 for g in gaps)
+
+    def test_on_request_hook_called(self):
+        sim = Simulator(seed=5, trace=Trace(enabled=False))
+        cloud = Cloud(sim, machines=3, config=PASSTHROUGH)
+        hooks = []
+        cloud.create_vm(
+            "echo",
+            lambda g: EchoServer(g, on_request=lambda v, t:
+                                 hooks.append((v, t))))
+        client = cloud.add_client("pinger:1")
+        pinger = PingClient(client, "vm:echo")
+        sim.call_after(0.05, pinger.start)
+        cloud.run(until=0.5)
+        assert len(hooks) > 0
+
+
+class TestPingClient:
+    def test_exponential_spacing_by_default(self):
+        sim, cloud, _, pinger = echo_world(PASSTHROUGH,
+                                           mean_interval=0.01)
+        cloud.run(until=2.0)
+        # ~195 pings expected; very loose bounds
+        assert 120 < pinger.sent < 320
+
+    def test_constant_spacing_function(self):
+        sim, cloud, holder, pinger = echo_world(
+            PASSTHROUGH, spacing_fn=lambda rng: 0.01)
+        cloud.run(until=1.0)
+        assert pinger.sent == pytest.approx(95, abs=5)
+
+    def test_stop_halts_stream(self):
+        sim, cloud, _, pinger = echo_world(PASSTHROUGH)
+        sim.call_after(0.3, pinger.stop)
+        cloud.run(until=1.0)
+        sent_at_stop = pinger.sent
+        cloud.run(until=1.5)
+        assert pinger.sent == sent_at_stop

@@ -1,0 +1,99 @@
+"""Tests for the HTTP and UDP file services."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import DEFAULT, PASSTHROUGH
+from repro.sim import Simulator, Trace
+from repro.workloads import (
+    FileServer,
+    HttpDownloader,
+    UdpDownloader,
+    UdpFileServer,
+)
+
+FAST_DISK = {"disk_kwargs": {"seek_min": 0.001, "seek_max": 0.003,
+                             "per_block": 2e-5}}
+
+
+def run_download(config, size, udp=False, seed=1, until=30.0):
+    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    cloud = Cloud(sim, machines=3, config=config, host_kwargs=FAST_DISK)
+    cloud.create_vm("web", UdpFileServer if udp else FileServer)
+    client = cloud.add_client("client:1")
+    downloader = (UdpDownloader if udp else HttpDownloader)(client,
+                                                            "vm:web")
+    done = []
+    sim.call_after(0.05, downloader.download, size, done.append)
+    cloud.run(until=until)
+    return done[0] if done else None
+
+
+class TestHttpDownload:
+    def test_small_file_baseline(self):
+        latency = run_download(PASSTHROUGH, 10_000)
+        assert latency is not None
+        assert latency < 0.1
+
+    def test_small_file_stopwatch(self):
+        latency = run_download(DEFAULT, 10_000)
+        assert latency is not None
+
+    def test_larger_files_take_longer(self):
+        small = run_download(PASSTHROUGH, 10_000)
+        large = run_download(PASSTHROUGH, 500_000)
+        assert large > small
+
+    def test_stopwatch_slower_but_bounded(self):
+        """The Fig. 5 headline at 100 KB: StopWatch loses < ~3x."""
+        base = run_download(PASSTHROUGH, 100_000)
+        stopwatch = run_download(DEFAULT, 100_000)
+        assert stopwatch > base
+        assert stopwatch < 3.5 * base
+
+    def test_multiple_sequential_downloads(self):
+        sim = Simulator(seed=1, trace=Trace(enabled=False))
+        cloud = Cloud(sim, machines=3, config=PASSTHROUGH,
+                      host_kwargs=FAST_DISK)
+        cloud.create_vm("web", FileServer)
+        client = cloud.add_client("client:1")
+        downloader = HttpDownloader(client, "vm:web")
+
+        def chain(latency=None):
+            if len(downloader.latencies) < 3:
+                downloader.download(20_000, chain)
+
+        sim.call_after(0.05, chain)
+        cloud.run(until=10.0)
+        assert len(downloader.latencies) == 3
+
+
+class TestUdpDownload:
+    def test_udp_transfer_completes(self):
+        latency = run_download(PASSTHROUGH, 50_000, udp=True)
+        assert latency is not None
+
+    def test_udp_stopwatch_competitive(self):
+        """Sec. VII-C: UDP over StopWatch near baseline for 100KB+."""
+        base = run_download(PASSTHROUGH, 200_000, udp=True)
+        stopwatch = run_download(DEFAULT, 200_000, udp=True)
+        assert stopwatch < 1.8 * base
+
+    def test_udp_beats_http_under_stopwatch(self):
+        http = run_download(DEFAULT, 200_000, udp=False)
+        udp = run_download(DEFAULT, 200_000, udp=True)
+        assert udp < http
+
+    def test_lossy_path_recovered_by_naks(self):
+        sim = Simulator(seed=9, trace=Trace(enabled=False))
+        cloud = Cloud(sim, machines=3, config=PASSTHROUGH,
+                      host_kwargs=FAST_DISK)
+        cloud.create_vm("web", UdpFileServer)
+        client = cloud.add_client("client:1")
+        # make the client's downlink lossy
+        client.downlink.loss = 0.1
+        downloader = UdpDownloader(client, "vm:web")
+        done = []
+        sim.call_after(0.05, downloader.download, 100_000, done.append)
+        cloud.run(until=30.0)
+        assert len(done) == 1

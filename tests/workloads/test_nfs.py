@@ -1,0 +1,79 @@
+"""Tests for the NFS server and nhfsstone generator."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import DEFAULT, PASSTHROUGH
+from repro.sim import Simulator, Trace
+from repro.workloads import NFS_OPERATION_MIX, NfsServer, NhfsstoneClient
+
+FAST_DISK = {"disk_kwargs": {"seek_min": 0.001, "seek_max": 0.003,
+                             "per_block": 2e-5}}
+
+
+def run_nfs(config, rate, duration=5.0, seed=2):
+    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    cloud = Cloud(sim, machines=3, config=config, host_kwargs=FAST_DISK)
+    vm = cloud.create_vm("nfs", NfsServer)
+    client = cloud.add_client("client:1")
+    generator = NhfsstoneClient(client, "vm:nfs", rate=rate)
+    sim.call_after(0.05, generator.start)
+    cloud.run(until=duration)
+    return generator, vm
+
+
+class TestOperationMix:
+    def test_mix_sums_to_one(self):
+        assert sum(f for _, f in NFS_OPERATION_MIX) == pytest.approx(1.0,
+                                                                     abs=0.01)
+
+    def test_generated_mix_matches_fractions(self):
+        generator, vm = run_nfs(PASSTHROUGH, rate=200, duration=10.0)
+        server = vm.workloads[0]
+        total = sum(server.ops_by_type.values())
+        fractions = {op: count / total
+                     for op, count in server.ops_by_type.items()}
+        for op, expected in NFS_OPERATION_MIX:
+            assert fractions.get(op, 0.0) == pytest.approx(expected,
+                                                           abs=0.06)
+
+
+class TestThroughputAndLatency:
+    def test_all_ops_complete_at_moderate_load(self):
+        generator, _ = run_nfs(PASSTHROUGH, rate=100)
+        assert generator.ops_completed >= 0.9 * generator.ops_issued
+
+    def test_rate_honoured(self):
+        generator, _ = run_nfs(PASSTHROUGH, rate=100, duration=5.0)
+        # ~(5.0 - warmup) * 100 ops
+        assert 350 <= generator.ops_issued <= 520
+
+    def test_stopwatch_latency_overhead_bounded(self):
+        base, _ = run_nfs(PASSTHROUGH, rate=50)
+        stopwatch, _ = run_nfs(DEFAULT.with_overrides(delta_net=0.008),
+                               rate=50)
+        ratio = stopwatch.mean_latency() / base.mean_latency()
+        assert 1.5 < ratio < 5.0
+
+    def test_invalid_rate_rejected(self):
+        sim = Simulator()
+        cloud = Cloud(sim, machines=3, config=PASSTHROUGH)
+        client = cloud.add_client("c:1")
+        with pytest.raises(ValueError):
+            NhfsstoneClient(client, "vm:x", rate=0)
+        with pytest.raises(ValueError):
+            NhfsstoneClient(client, "vm:x", rate=10, processes=0)
+
+
+class TestPacketsPerOp:
+    def test_client_to_server_packets_decrease_with_load(self):
+        """Fig. 6(b): request/ACK coalescing at higher rates."""
+        low, _ = run_nfs(PASSTHROUGH, rate=25, duration=8.0)
+        high, _ = run_nfs(PASSTHROUGH, rate=400, duration=8.0)
+        assert high.packets_per_op()[0] < low.packets_per_op()[0]
+
+    def test_packets_per_op_sane_magnitudes(self):
+        generator, _ = run_nfs(PASSTHROUGH, rate=100)
+        c2s, s2c = generator.packets_per_op()
+        assert 1.0 < c2s < 8.0
+        assert 1.0 < s2c < 8.0

@@ -1,0 +1,79 @@
+"""Tests for the SMP Black-Scholes kernel."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import DEFAULT, PASSTHROUGH
+from repro.sim import Simulator, Trace
+from repro.workloads.parsec import BlackScholes, BlackScholesParallel
+
+FAST_DISK = {"disk_kwargs": {"seek_min": 0.001, "seek_max": 0.003,
+                             "per_block": 2e-5}}
+
+
+def run_parallel(config, threads=4, vcpus=4, scale=0.3, seed=3,
+                 until=30.0, jitter=0.0):
+    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    host_kwargs = dict(FAST_DISK)
+    host_kwargs["jitter_sigma"] = jitter
+    cloud = Cloud(sim, machines=3, config=config, host_kwargs=host_kwargs)
+    vm = cloud.create_vm(
+        "bs-smp",
+        lambda g: BlackScholesParallel(g, threads=threads, vcpus=vcpus,
+                                       scale=scale))
+    cloud.run(until=until)
+    return vm
+
+
+class TestParallelKernel:
+    def test_completes_and_prices_everything(self):
+        vm = run_parallel(PASSTHROUGH)
+        workload = vm.workloads[0]
+        assert workload.finished
+        assert all(p is not None for p in workload.prices)
+        assert workload.result > 0
+
+    def test_matches_serial_result(self):
+        """Same portfolio, same RNG -> the SMP mean price equals the
+        serial kernel's (partitioning must not change the answer)."""
+        vm_parallel = run_parallel(PASSTHROUGH, scale=1.0, until=60.0)
+
+        sim = Simulator(seed=3, trace=Trace(enabled=False))
+        cloud = Cloud(sim, machines=3, config=PASSTHROUGH,
+                      host_kwargs=FAST_DISK)
+        vm_serial = cloud.create_vm(
+            "bs-smp",  # same name -> same workload RNG stream
+            lambda g: BlackScholes(g, scale=1.0))
+        cloud.run(until=60.0)
+
+        assert vm_parallel.workloads[0].result == pytest.approx(
+            vm_serial.workloads[0].result, rel=1e-9)
+
+    def test_vcpus_speed_up_virtual_runtime(self):
+        """4 VCPUs cut the *compute* portion exactly 4x: each round of 4
+        threads costs 4 lanes of quantum on 1 VCPU but 1 lane on 4."""
+        serial_like = run_parallel(PASSTHROUGH, threads=4, vcpus=1)
+        parallel = run_parallel(PASSTHROUGH, threads=4, vcpus=4)
+        w1 = serial_like.workloads[0]
+        w4 = parallel.workloads[0]
+        assert w4.finish_virt < w1.finish_virt
+        rounds = w1.runtime.rounds_executed
+        assert rounds == w4.runtime.rounds_executed
+        # compute-virt difference = rounds * quantum * (4-1) lanes * slope
+        expected_saving = rounds * 20_000 * 3 * 1e-8
+        assert (w1.finish_virt - w4.finish_virt) == pytest.approx(
+            expected_saving, rel=0.25)
+
+    def test_deterministic_across_stopwatch_replicas(self):
+        vm = run_parallel(DEFAULT, jitter=0.05)
+        results = {w.result for w in vm.workloads}
+        finish = {w.finish_virt for w in vm.workloads}
+        assert len(results) == 1
+        assert len(finish) == 1
+
+    def test_bad_thread_count_rejected(self):
+        sim = Simulator(seed=1)
+        cloud = Cloud(sim, machines=3, config=PASSTHROUGH)
+        with pytest.raises(ValueError):
+            cloud.create_vm(
+                "x", lambda g: BlackScholesParallel(g, threads=0))

@@ -1,0 +1,78 @@
+"""Tests for the PARSEC plan construction and calibration constants."""
+
+import random
+
+import pytest
+
+from repro.analysis import PARSEC_PAPER_VALUES
+from repro.workloads.parsec import PARSEC_KERNELS
+from repro.workloads.parsec.base import ParsecWorkload
+
+
+class FakeGuest:
+    def __init__(self):
+        self.rng = random.Random(1)
+
+    def now(self):
+        return 0.0
+
+
+def build(cls, scale=1.0):
+    kernel = cls.__new__(cls)
+    ParsecWorkload.__init__(kernel, FakeGuest(), scale=scale)
+    kernel._build_plan()
+    return kernel
+
+
+class TestPlanConstruction:
+    @pytest.mark.parametrize("name", list(PARSEC_KERNELS))
+    def test_io_counts_match_paper_interrupts(self, name):
+        kernel = build(PARSEC_KERNELS[name], scale=1.0)
+        io_phases = [p for p in kernel._phases if p[0] in ("read", "write")]
+        assert len(io_phases) == PARSEC_PAPER_VALUES[name][2]
+
+    @pytest.mark.parametrize("name", list(PARSEC_KERNELS))
+    def test_reads_and_writes_match_class_constants(self, name):
+        cls = PARSEC_KERNELS[name]
+        kernel = build(cls, scale=1.0)
+        reads = sum(1 for p in kernel._phases if p[0] == "read")
+        writes = sum(1 for p in kernel._phases if p[0] == "write")
+        assert reads == cls.input_reads
+        assert writes == cls.output_writes
+
+    def test_compute_budget_distributed_over_batches(self):
+        cls = PARSEC_KERNELS["ferret"]
+        kernel = build(cls, scale=1.0)
+        compute = [p for p in kernel._phases if p[0] == "compute"]
+        assert len(compute) == cls.batches
+        total = sum(p[3] for p in compute)
+        assert total == pytest.approx(cls.compute_budget, rel=0.05)
+
+    def test_scale_shrinks_everything(self):
+        cls = PARSEC_KERNELS["dedup"]
+        small = build(cls, scale=0.2)
+        full = build(cls, scale=1.0)
+        assert len(small._phases) < len(full._phases)
+
+    def test_reads_interleave_with_compute(self):
+        """Streaming kernels re-read input mid-run: some read phase must
+        appear after the first compute phase."""
+        kernel = build(PARSEC_KERNELS["dedup"], scale=1.0)
+        kinds = [p[0] for p in kernel._phases]
+        first_compute = kinds.index("compute")
+        assert "read" in kinds[first_compute:]
+
+    def test_writes_come_last(self):
+        kernel = build(PARSEC_KERNELS["blackscholes"], scale=1.0)
+        kinds = [p[0] for p in kernel._phases]
+        last_write_block = kinds[-kernel.output_writes:]
+        assert all(k == "write" for k in last_write_block)
+
+
+class TestCalibrationSanity:
+    def test_budgets_reflect_paper_runtime_ordering(self):
+        budgets = {name: cls.compute_budget
+                   for name, cls in PARSEC_KERNELS.items()}
+        # dedup is the heaviest, ferret/blackscholes the lightest
+        assert budgets["dedup"] > budgets["canneal"] > \
+            budgets["streamcluster"] > budgets["ferret"]
