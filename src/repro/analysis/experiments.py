@@ -53,6 +53,10 @@ PERF_HOST_KWARGS = {
 
 CONFIDENCES = (0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 0.99)
 
+#: ring-buffer cap for the always-on driver traces: filtered recording is
+#: cheap (category-indexed) and this bounds memory on long runs
+TRACE_CAP = 65_536
+
 
 # ---------------------------------------------------------------------------
 # Fig. 1 -- analytic median justification
@@ -122,7 +126,9 @@ def fig4_empirical_detection(duration: float = 30.0, seed: int = 7,
 # ---------------------------------------------------------------------------
 def _download_once(config: StopWatchConfig, size: int, udp: bool,
                    seed: int, timeout: float = 120.0) -> Optional[float]:
-    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    sim = Simulator(seed=seed, trace=Trace(
+        categories={"ingress.replicate", "egress.release"},
+        max_per_category=TRACE_CAP))
     cloud = Cloud(sim, machines=3, config=config,
                   host_kwargs=PERF_HOST_KWARGS)
     cloud.create_vm("web", UdpFileServer if udp else FileServer)
@@ -171,7 +177,9 @@ def fig6_nfs(rates: Sequence[int] = (25, 50, 100, 200, 400),
     for rate in rates:
         cells = {}
         for label, config in (("base", PASSTHROUGH), ("sw", config_sw)):
-            sim = Simulator(seed=seed, trace=Trace(enabled=False))
+            sim = Simulator(seed=seed, trace=Trace(
+                categories={"vmm.divergence"},
+                max_per_category=TRACE_CAP))
             cloud = Cloud(sim, machines=3, config=config,
                           host_kwargs=PERF_HOST_KWARGS)
             cloud.create_vm("nfs", NfsServer)
@@ -207,7 +215,9 @@ def fig7_parsec(kernels: Optional[Sequence[str]] = None,
         times = {}
         disk_ints = 0
         for label, config in (("base", PASSTHROUGH), ("sw", config_sw)):
-            sim = Simulator(seed=seed, trace=Trace(enabled=False))
+            sim = Simulator(seed=seed, trace=Trace(
+                categories={"vmm.disk.request"},
+                max_per_category=TRACE_CAP))
             cloud = Cloud(sim, machines=3, config=config,
                           host_kwargs=PERF_HOST_KWARGS)
             client = cloud.add_client("collector:1")
@@ -269,8 +279,9 @@ def delta_offset_translation(duration: float = 10.0,
     from repro.workloads.parsec import BlackScholes
 
     sim = Simulator(seed=seed, trace=Trace(
-        categories={"ingress.replicate", "vmm.deliver.net",
-                    "vmm.disk.request", "vmm.deliver.disk"}))
+        categories={"ingress.replicate", "vmm.deliver",
+                    "vmm.disk.request"},
+        max_per_category=TRACE_CAP))
     cloud = Cloud(sim, machines=3, config=DEFAULT,
                   host_kwargs=PERF_HOST_KWARGS)
     cloud.create_vm("echo", EchoServer)
@@ -322,7 +333,8 @@ def delta_n_ablation(delta_ns: Sequence[float] = (0.0005, 0.002, 0.005,
     rows = []
     for delta_n in delta_ns:
         config = DEFAULT.with_overrides(delta_net=delta_n)
-        sim = Simulator(seed=seed, trace=Trace(enabled=False))
+        sim = Simulator(seed=seed, trace=Trace(
+            categories={"vmm.divergence"}, max_per_category=TRACE_CAP))
         cloud = Cloud(sim, machines=3, config=config,
                       host_kwargs={"jitter_sigma": jitter_sigma})
         vm = cloud.create_vm("echo", EchoServer)
@@ -368,7 +380,8 @@ def epoch_resync_ablation(epoch_lengths: Sequence[Optional[int]] = (
         config = DEFAULT.with_overrides(
             initial_slope=skewed_slope, epoch_instructions=epoch,
             slope_range=(0.5e-8, 2e-8))
-        sim = Simulator(seed=seed, trace=Trace(enabled=False))
+        sim = Simulator(seed=seed, trace=Trace(
+            categories={"vmm.divergence"}, max_per_category=TRACE_CAP))
         cloud = Cloud(sim, machines=3, config=config)
         vm = cloud.create_vm("echo", EchoServer)
         cloud.run(until=duration)

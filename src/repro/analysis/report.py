@@ -2,6 +2,8 @@
 
 from typing import Any, List, Sequence
 
+from repro.sim.monitor import MetricSet
+
 
 def _fmt(value: Any) -> str:
     if isinstance(value, float):
@@ -32,13 +34,14 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     return "\n".join(lines)
 
 
-def summarize(values: List[float]) -> dict:
-    """Mean/min/max/count summary of a sample list."""
+def summarize(values: List[float],
+              percentiles: Sequence[float] = (50, 95, 99)) -> dict:
+    """Count/mean/min/max plus percentile summary of a sample list."""
+    empty = {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    empty.update({f"p{p:g}": 0.0 for p in percentiles})
     if not values:
-        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
-    return {
-        "count": len(values),
-        "mean": sum(values) / len(values),
-        "min": min(values),
-        "max": max(values),
-    }
+        return empty
+    metrics = MetricSet(max_samples_per_metric=len(values))
+    for value in values:
+        metrics.observe("samples", value)
+    return metrics.snapshot(percentiles)["observations"]["samples"]

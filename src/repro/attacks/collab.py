@@ -72,7 +72,8 @@ def run_collab_experiment(replicas: int = 3,
 
     samples = {}
     for with_victim in (False, True):
-        sim = Simulator(seed=seed, trace=Trace(enabled=False))
+        sim = Simulator(seed=seed, trace=Trace(
+            categories={"vmm.divergence"}, max_per_category=65_536))
         cloud = Cloud(sim, machines=machines, config=config,
                       host_kwargs=host_kwargs)
         holder: list = []

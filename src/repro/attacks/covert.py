@@ -115,7 +115,8 @@ def run_covert_channel(mediated: bool = True,
         config = DEFAULT if mediated else PASSTHROUGH
     if host_kwargs is None:
         host_kwargs = {"contention_alpha": 0.5}
-    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    sim = Simulator(seed=seed, trace=Trace(
+        categories={"vmm.divergence"}, max_per_category=65_536))
     machines = 5 if config.replicas > 1 else 1
     cloud = Cloud(sim, machines=machines, config=config,
                   host_kwargs=host_kwargs)

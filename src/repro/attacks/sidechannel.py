@@ -76,7 +76,9 @@ def _build_attack_cloud(config: StopWatchConfig, seed: int,
                         victim_clients: int,
                         host_kwargs: Optional[dict]):
     """One condition's cloud: attacker VM + optional coresident victim."""
-    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    sim = Simulator(seed=seed, trace=Trace(
+        categories={"vmm.divergence", "ingress.replicate"},
+        max_per_category=65_536))
     machines = 5 if config.replicas > 1 else 1
     cloud = Cloud(sim, machines=machines, config=config,
                   host_kwargs=host_kwargs)

@@ -12,6 +12,8 @@ Usage::
     python -m repro offsets
     python -m repro covert
     python -m repro collab
+    python -m repro trace   [--categories vmm,ingress] [--out run.jsonl]
+    python -m repro metrics [--profile] [--duration 2]
     python -m repro list
 """
 
@@ -22,6 +24,14 @@ from typing import List
 
 def _ints(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text}")
+    return value
 
 
 def cmd_fig1(args) -> None:
@@ -108,10 +118,12 @@ def cmd_offsets(args) -> None:
     disk = summarize([d * 1000 for d in result["disk_delays"]])
     print("Sec. VII-A: real-time translation of the virtual offsets")
     print(format_table(
-        ["offset", "events", "mean ms", "min ms", "max ms"],
-        [("delta_n", net["count"], net["mean"], net["min"], net["max"]),
+        ["offset", "events", "mean ms", "min ms", "max ms", "p50 ms",
+         "p95 ms", "p99 ms"],
+        [("delta_n", net["count"], net["mean"], net["min"], net["max"],
+          net["p50"], net["p95"], net["p99"]),
          ("delta_d", disk["count"], disk["mean"], disk["min"],
-          disk["max"])]))
+          disk["max"], disk["p50"], disk["p95"], disk["p99"])]))
 
 
 def cmd_covert(args) -> None:
@@ -137,9 +149,55 @@ def cmd_collab(args) -> None:
     print(format_table(["condition", "obs to detect @95%"], rows))
 
 
+def cmd_trace(args) -> None:
+    from repro.analysis import format_table
+    from repro.analysis.observe import (run_observed_workload,
+                                        trace_category_rows)
+    categories = ([c for c in args.categories.split(",") if c]
+                  if args.categories else None)
+    sim, sink = run_observed_workload(
+        duration=args.duration, seed=args.seed, categories=categories,
+        max_per_category=args.cap, jsonl_path=args.out)
+    trace = sim.trace
+    print(f"Trace: {len(trace)} records retained, "
+          f"{trace.dropped} dropped (cap={args.cap})")
+    print(format_table(["category", "retained", "dropped"],
+                       trace_category_rows(trace)))
+    if sink is not None:
+        print(f"Streamed {sink.written} records to {args.out}")
+
+
+def cmd_metrics(args) -> None:
+    from repro.analysis import format_table
+    from repro.analysis.observe import (mediation_delay_metrics,
+                                        run_observed_workload)
+    sim, _ = run_observed_workload(duration=args.duration, seed=args.seed,
+                                   max_per_category=args.cap,
+                                   profile=args.profile)
+    stats = sim.stats()
+    print("Event loop:")
+    print(format_table(["metric", "value"],
+                       [(key, value) for key, value in stats.items()
+                        if key != "profile"]))
+    snapshot = mediation_delay_metrics(sim.trace).snapshot()
+    rows = [(name, s["count"], s["mean"] * 1000, s["p50"] * 1000,
+             s["p95"] * 1000, s["p99"] * 1000)
+            for name, s in sorted(snapshot["observations"].items())]
+    print("\nMediation delays (ms):")
+    print(format_table(["metric", "count", "mean", "p50", "p95", "p99"],
+                       rows))
+    if args.profile:
+        top = list(stats["profile"].items())[:args.top]
+        print("\nCallback wall-time profile (top entries):")
+        print(format_table(
+            ["callback", "calls", "seconds"],
+            [(name, entry["calls"], entry["seconds"])
+             for name, entry in top]))
+
+
 def cmd_list(args) -> None:
     print("Available experiments: fig1 fig4 fig5 fig6 fig7 fig8 "
-          "placement offsets covert collab")
+          "placement offsets covert collab trace metrics")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -189,6 +247,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("collab", help="Sec. IX collaborating attackers")
     p.add_argument("--duration", type=float, default=15.0)
     p.set_defaults(fn=cmd_collab)
+
+    p = sub.add_parser("trace", help="record a traced run; summarize "
+                                     "and export JSONL")
+    p.add_argument("--duration", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument("--categories", default=None,
+                   help="comma-separated dotted category prefixes "
+                        "(default: record everything)")
+    p.add_argument("--cap", type=_positive_int, default=100_000,
+                   help="ring-buffer cap per category")
+    p.add_argument("--out", default=None, help="stream records to this "
+                                               "JSONL file")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("metrics", help="event-loop health and "
+                                       "mediation-delay percentiles")
+    p.add_argument("--duration", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument("--cap", type=_positive_int, default=100_000)
+    p.add_argument("--profile", action="store_true",
+                   help="profile per-callback wall time")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("list", help="list experiments")
     p.set_defaults(fn=cmd_list)

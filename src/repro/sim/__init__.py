@@ -30,7 +30,8 @@ from repro.sim.process import Process
 from repro.sim.channel import Channel, Store
 from repro.sim.resources import Resource
 from repro.sim.rng import RngRegistry
-from repro.sim.monitor import Trace, TraceRecord, MetricSet
+from repro.sim.monitor import (Trace, TraceRecord, MetricSet, Histogram,
+                               JsonlSink, CategoryFilter, category_matches)
 
 __all__ = [
     "Simulator",
@@ -48,6 +49,10 @@ __all__ = [
     "Trace",
     "TraceRecord",
     "MetricSet",
+    "Histogram",
+    "JsonlSink",
+    "CategoryFilter",
+    "category_matches",
     "SimulationError",
     "ProcessFailed",
     "Interrupt",

@@ -11,7 +11,8 @@ number), so a simulation with fixed RNG seeds is exactly reproducible.
 """
 
 import heapq
-from typing import Callable, Optional
+import time as _time
+from typing import Callable, Dict, List, Optional
 
 from repro.sim.errors import SimulationError
 
@@ -24,26 +25,34 @@ class ScheduledCall:
     live directly in the heap.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "owner")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple,
+                 owner: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self.owner = owner
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
         self.fn = None
         self.args = ()
+        if self.owner is not None:
+            self.owner._cancelled_pending += 1
 
     def __lt__(self, other: "ScheduledCall") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
+        state = ("cancelled" if self.cancelled
+                 else "fired" if self.fired else "pending")
         return f"<ScheduledCall t={self.time:.6f} seq={self.seq} {state}>"
 
 
@@ -59,9 +68,13 @@ class Simulator:
     The ``seed`` feeds the simulator's :class:`~repro.sim.rng.RngRegistry`,
     exposed as :attr:`rng`; components ask for named streams so that adding
     a new component never perturbs the draws of existing ones.
+
+    With ``profile=True`` every callback's host wall time is accumulated
+    per callback qualname (see :meth:`stats`); the default keeps the hot
+    loop unintrumented.
     """
 
-    def __init__(self, seed: int = 0, trace=None):
+    def __init__(self, seed: int = 0, trace=None, profile: bool = False):
         from repro.sim.rng import RngRegistry
         from repro.sim.monitor import Trace
 
@@ -70,9 +83,15 @@ class Simulator:
         self._seq: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        self._cancelled_pending: int = 0
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Trace()
         self.event_count: int = 0
+        self.cancelled_count: int = 0
+        self.heap_high_water: int = 0
+        self.wall_seconds: float = 0.0
+        self.profile = profile
+        self.profile_stats: Dict[str, List[float]] = {}
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -83,9 +102,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {self.now}"
             )
-        call = ScheduledCall(time, self._seq, fn, args)
+        call = ScheduledCall(time, self._seq, fn, args, owner=self)
         self._seq += 1
         heapq.heappush(self._heap, call)
+        if len(self._heap) > self.heap_high_water:
+            self.heap_high_water = len(self._heap)
         return call
 
     def call_after(self, delay: float, fn: Callable, *args) -> ScheduledCall:
@@ -123,47 +144,79 @@ class Simulator:
     # ------------------------------------------------------------------
     # the loop
     # ------------------------------------------------------------------
+    def _drain_cancelled(self) -> None:
+        """Discard cancelled entries at the head of the heap so the head,
+        if any, is the next *live* event."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+            self.cancelled_count += 1
+
     def step(self) -> bool:
-        """Run a single event; return False when the queue is empty."""
+        """Run a single live event; return False when none remain."""
         while self._heap:
             call = heapq.heappop(self._heap)
             if call.cancelled:
+                self._cancelled_pending -= 1
+                self.cancelled_count += 1
                 continue
             self.now = call.time
             self.event_count += 1
+            call.fired = True
             fn, args = call.fn, call.args
             call.fn, call.args = None, ()  # break reference cycles
-            fn(*args)
+            if self.profile:
+                started = _time.perf_counter()
+                fn(*args)
+                elapsed = _time.perf_counter() - started
+                key = getattr(fn, "__qualname__", None) or repr(fn)
+                entry = self.profile_stats.get(key)
+                if entry is None:
+                    self.profile_stats[key] = [1, elapsed]
+                else:
+                    entry[0] += 1
+                    entry[1] += elapsed
+            else:
+                fn(*args)
             return True
         return False
 
     def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> None:
+            max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until`` is reached, or
-        ``max_events`` events have fired (whichever comes first).
+        ``max_events`` *live* events have fired (whichever comes first);
+        returns the number of events fired by this call.
 
-        When ``until`` is given, the clock is advanced to exactly ``until``
-        on return (even if the queue drained earlier), which makes
-        measurement windows line up across runs.
+        Cancelled entries are discarded for free: they consume no event
+        budget and never push the clock past ``until``.  When ``until``
+        is given, the clock is advanced to exactly ``until`` on return
+        (even if the queue drained earlier), which makes measurement
+        windows line up across runs.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         self._stopped = False
-        budget = max_events
+        fired = 0
+        started = _time.perf_counter()
         try:
             while self._heap and not self._stopped:
+                self._drain_cancelled()
+                if not self._heap:
+                    break
                 if until is not None and self._heap[0].time > until:
                     break
-                if budget is not None:
-                    if budget <= 0:
-                        break
-                    budget -= 1
-                self.step()
+                if max_events is not None and fired >= max_events:
+                    break
+                if self.step():
+                    fired += 1
             if until is not None and until > self.now and not self._stopped:
                 self.now = until
         finally:
             self._running = False
+            self.wall_seconds += _time.perf_counter() - started
+        return fired
 
     def stop(self) -> None:
         """Request the current :meth:`run` to return after this event."""
@@ -171,14 +224,45 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-fired (possibly cancelled) scheduled calls."""
-        return len(self._heap)
+        """Number of not-yet-fired live (non-cancelled) scheduled calls."""
+        return len(self._heap) - self._cancelled_pending
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        self._drain_cancelled()
         return self._heap[0].time if self._heap else None
 
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def events_per_second(self) -> float:
+        """Fired events per host wall-clock second across all runs."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.event_count / self.wall_seconds
+
+    def stats(self) -> dict:
+        """Event-loop health counters as plain data."""
+        report = {
+            "now": self.now,
+            "events_fired": self.event_count,
+            "events_cancelled": self.cancelled_count,
+            "events_pending": self.pending_events,
+            "heap_high_water": self.heap_high_water,
+            "wall_seconds": self.wall_seconds,
+            "events_per_second": self.events_per_second(),
+            "trace_records": len(self.trace),
+            "trace_dropped": getattr(self.trace, "dropped", 0),
+        }
+        if self.profile:
+            report["profile"] = {
+                key: {"calls": calls, "seconds": seconds}
+                for key, (calls, seconds)
+                in sorted(self.profile_stats.items(),
+                          key=lambda item: item[1][1], reverse=True)
+            }
+        return report
+
     def __repr__(self) -> str:
-        return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"
+        return (f"<Simulator now={self.now:.6f} "
+                f"pending={self.pending_events}>")

@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         for command in ("fig1", "fig4", "fig5", "fig6", "fig7", "fig8",
                         "placement", "offsets", "covert", "collab",
-                        "list"):
+                        "trace", "metrics", "list"):
             args = parser.parse_args(
                 [command] if command != "fig7" else ["fig7"])
             assert callable(args.fn)
@@ -48,3 +48,22 @@ class TestExecution:
     def test_fig5_small_run(self, capsys):
         assert main(["fig5", "--sizes", "5000"]) == 0
         assert "HTTP" in capsys.readouterr().out
+
+    def test_trace_command_summarizes_and_exports(self, capsys, tmp_path):
+        out = tmp_path / "run.jsonl"
+        assert main(["trace", "--duration", "0.3", "--categories",
+                     "vmm.deliver,ingress", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "vmm.deliver.net" in text
+        assert "ingress.replicate" in text
+        assert "vmm.emit" not in text          # filtered out
+        assert out.exists() and out.read_text().count("\n") > 0
+
+    def test_metrics_command_prints_percentiles(self, capsys):
+        assert main(["metrics", "--duration", "0.3", "--profile",
+                     "--top", "3"]) == 0
+        text = capsys.readouterr().out
+        assert "events_per_second" in text
+        assert "delay.net" in text
+        assert "p95" in text
+        assert "Callback wall-time profile" in text

@@ -30,8 +30,21 @@ class TestReport:
 
     def test_summarize(self):
         stats = summarize([1.0, 2.0, 3.0])
-        assert stats == {"count": 3, "mean": 2.0, "min": 1.0, "max": 3.0}
+        assert stats["count"] == 3
+        assert stats["mean"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["p50"] == 2.0
+        assert stats["p99"] == 3.0
         assert summarize([])["count"] == 0
+        assert summarize([])["p95"] == 0.0
+
+    def test_summarize_percentiles_exact(self):
+        values = [float(i) for i in range(1, 101)]
+        stats = summarize(values)
+        assert stats["p50"] == 50.0
+        assert stats["p95"] == 95.0
+        assert stats["p99"] == 99.0
 
 
 class TestFig1:

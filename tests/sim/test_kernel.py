@@ -105,6 +105,89 @@ def test_stop_aborts_run():
     assert sim.now == 2.0
 
 
+def test_pending_events_counts_live_only():
+    """Regression: cancelled entries must not inflate pending_events."""
+    sim = Simulator()
+    calls = [sim.call_after(float(i + 1), lambda: None) for i in range(3)]
+    calls[1].cancel()
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancelled_events_do_not_eat_budget():
+    """Regression: ``max_events`` must count only live fired events."""
+    sim = Simulator()
+    fired = []
+    for i in range(6):
+        call = sim.call_after(float(i + 1), fired.append, i)
+        if i % 2 == 0:
+            call.cancel()
+    assert sim.run(max_events=3) == 3
+    assert fired == [1, 3, 5]
+
+
+def test_run_returns_live_fired_count():
+    sim = Simulator()
+    call = sim.call_after(1.0, lambda: None)
+    call.cancel()
+    assert sim.run(max_events=5) == 0
+    sim.call_after(2.0, lambda: None)
+    assert sim.run() == 1
+
+
+def test_cancelled_head_does_not_drag_run_past_until():
+    """Regression: a cancelled entry before ``until`` must not let the
+    next *live* event (beyond ``until``) fire."""
+    sim = Simulator()
+    fired = []
+    cancelled = sim.call_after(1.0, fired.append, "dead")
+    sim.call_after(5.0, fired.append, "late")
+    cancelled.cancel()
+    sim.run(until=3.0, max_events=10)
+    assert fired == []
+    assert sim.now == 3.0
+    sim.run()
+    assert fired == ["late"]
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    call = sim.call_after(1.0, lambda: None)
+    sim.run()
+    call.cancel()
+    assert sim.pending_events == 0
+
+
+def test_heap_high_water_and_stats():
+    sim = Simulator()
+    for i in range(5):
+        sim.call_after(float(i + 1), lambda: None)
+    sim.run()
+    stats = sim.stats()
+    assert stats["heap_high_water"] == 5
+    assert stats["events_fired"] == 5
+    assert stats["events_pending"] == 0
+    assert stats["wall_seconds"] >= 0.0
+    assert "profile" not in stats
+
+
+def test_profile_collects_callback_wall_time():
+    sim = Simulator(profile=True)
+
+    def busy():
+        pass
+
+    for i in range(3):
+        sim.call_after(float(i + 1), busy)
+    sim.run()
+    profile = sim.stats()["profile"]
+    (key, entry), = profile.items()
+    assert "busy" in key
+    assert entry["calls"] == 3
+    assert entry["seconds"] >= 0.0
+
+
 def test_peek_skips_cancelled():
     sim = Simulator()
     call = sim.call_after(1.0, lambda: None)

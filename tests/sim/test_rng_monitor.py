@@ -1,7 +1,11 @@
 """Tests for RNG registry and tracing."""
 
+import json
+
+import pytest
+
 from repro.sim import RngRegistry, Simulator, Trace
-from repro.sim.monitor import MetricSet
+from repro.sim.monitor import JsonlSink, MetricSet, category_matches
 
 
 def test_same_name_same_stream_object():
@@ -59,6 +63,79 @@ def test_trace_category_whitelist():
     assert len(trace) == 1
 
 
+def test_trace_whitelist_is_dotted_prefix():
+    """Regression: a whitelist entry must match its dotted descendants.
+
+    The old exact-match whitelist silently dropped ``vmm.inject.net``
+    records when ``vmm.inject`` was whitelisted.
+    """
+    trace = Trace(categories={"vmm.inject"})
+    trace.record(1.0, "vmm.inject")
+    trace.record(2.0, "vmm.inject.net")
+    trace.record(3.0, "vmm.inject.disk")
+    trace.record(4.0, "vmm.injector")      # not a dotted child
+    trace.record(5.0, "vmm")               # parent, not whitelisted
+    assert len(trace) == 3
+    assert trace.times("vmm.inject") == [1.0, 2.0, 3.0]
+
+
+def test_category_matches_semantics():
+    assert category_matches("vmm.inject", "vmm.inject")
+    assert category_matches("vmm.inject", "vmm.inject.net")
+    assert not category_matches("vmm.inject", "vmm.injector")
+    assert not category_matches("vmm.inject", "vmm")
+    assert category_matches("", "anything.at.all")
+
+
+def test_select_accepts_prefix_queries():
+    trace = Trace()
+    trace.record(1.0, "vmm.deliver.net", seq=1)
+    trace.record(2.0, "vmm.deliver.disk", req=7)
+    trace.record(3.0, "vmm.emit")
+    assert trace.count("vmm.deliver") == 2
+    assert trace.times("vmm.deliver") == [1.0, 2.0]
+    assert trace.count("vmm") == 3
+    assert [r.category for r in trace.select("vmm.deliver", req=7)] \
+        == ["vmm.deliver.disk"]
+
+
+def test_ring_buffer_evicts_oldest_and_counts_drops():
+    trace = Trace(max_per_category=3)
+    for i in range(5):
+        trace.record(float(i), "a", i=i)
+    trace.record(9.0, "b")
+    assert len(trace) == 4
+    assert [r.payload["i"] for r in trace.select("a")] == [2, 3, 4]
+    assert trace.dropped == 2
+    assert trace.dropped_by_category == {"a": 2}
+
+
+def test_trace_export_jsonl(tmp_path):
+    trace = Trace()
+    trace.record(1.0, "a.x", vm="m")
+    trace.record(2.0, "b")
+    trace.record(3.0, "a.y")
+    path = tmp_path / "out.jsonl"
+    assert trace.export(str(path), "a") == 2
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [l["category"] for l in lines] == ["a.x", "a.y"]
+    assert lines[0]["payload"] == {"vm": "m"}
+    assert [l["seq"] for l in lines] == [0, 2]
+
+
+def test_jsonl_sink_streams_even_evicted_records(tmp_path):
+    trace = Trace(max_per_category=2)
+    path = tmp_path / "stream.jsonl"
+    with JsonlSink(str(path), trace) as sink:
+        for i in range(5):
+            trace.record(float(i), "a")
+    assert sink.written == 5
+    assert len(path.read_text().splitlines()) == 5
+    assert len(trace) == 2
+    trace.record(9.0, "a")           # sink detached after close
+    assert sink.written == 5
+
+
 def test_trace_disabled_records_nothing():
     trace = Trace(enabled=False)
     trace.record(1.0, "x")
@@ -91,3 +168,39 @@ def test_metricset_basics():
     assert metrics.mean("latency") == 2.0
     snap = metrics.snapshot()
     assert snap["sample_counts"]["latency"] == 2
+
+
+def test_metricset_unknown_metric_raises():
+    """Regression: a typo'd metric name must not read as a plausible 0.0."""
+    metrics = MetricSet()
+    metrics.observe("latency", 1.0)
+    with pytest.raises(KeyError):
+        metrics.mean("latencyy")
+    with pytest.raises(KeyError):
+        metrics.percentile("nope", 50)
+
+
+def test_metricset_snapshot_has_min_max_mean_percentiles():
+    metrics = MetricSet()
+    for value in (1.0, 2.0, 3.0, 10.0):
+        metrics.observe("latency", value)
+    stats = metrics.snapshot()["observations"]["latency"]
+    assert stats["count"] == 4
+    assert stats["min"] == 1.0
+    assert stats["max"] == 10.0
+    assert stats["mean"] == 4.0
+    assert stats["p50"] == 2.0
+    assert stats["p99"] == 10.0
+
+
+def test_metricset_histogram_kicks_in_past_sample_cap():
+    metrics = MetricSet(max_samples_per_metric=100)
+    for i in range(10_000):
+        metrics.observe("v", float(i % 1000) + 1.0)
+    assert len(metrics.samples["v"]) == 100
+    snap = metrics.snapshot()["observations"]["v"]
+    assert snap["count"] == 10_000
+    assert snap["min"] == 1.0 and snap["max"] == 1000.0
+    # histogram estimate: within the bucket's relative error of exact
+    assert abs(snap["p50"] - 500.0) / 500.0 < 0.05
+    assert abs(snap["p99"] - 990.0) / 990.0 < 0.05
