@@ -1,0 +1,146 @@
+"""Chaos-run driver behind the ``repro chaos`` CLI subcommand.
+
+Runs the representative mediated cloud (echo server, external pinging
+client) with failure detection enabled, injects a fault campaign --
+by default: crash one replica's host mid-run, restart and
+replay-recover it later -- and reports what the pipeline did about it:
+suspicion and degraded-agreement events, egress quorum changes, the
+replay rejoin, and whether the client kept being served throughout.
+
+Because every layer is seeded and the fault schedule is data, two runs
+with the same seed must produce *identical* ``fault.*``/``recovery.*``/
+``egress.release`` trace sequences; :func:`determinism_check` runs the
+experiment twice and compares the signatures record for record.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import RESILIENT
+from repro.faults import FaultInjector, FaultSchedule
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Trace
+
+#: trace prefixes that make up a chaos run's deterministic signature
+SIGNATURE_PREFIXES = ("fault.", "recovery.", "egress.release")
+
+#: categories recorded during a chaos run (everything the signature
+#: needs, plus the drop/ingress context shown in the timeline)
+CHAOS_CATEGORIES = ("fault", "recovery", "egress", "net.drop")
+
+
+def default_schedule(crash_at: float = 0.9,
+                     restart_at: float = 2.0,
+                     replica: int = 2) -> FaultSchedule:
+    """Crash one echo replica, then replay-recover it."""
+    return FaultSchedule.from_entries([
+        (crash_at, "crash_replica", f"echo:{replica}"),
+        (restart_at, "restart_replica", f"echo:{replica}"),
+    ])
+
+
+def run_chaos_experiment(seed: int = 7, duration: float = 3.0,
+                         schedule: Optional[FaultSchedule] = None,
+                         ping_interval: float = 0.040) -> dict:
+    """One seeded chaos run; returns everything tests/CLI inspect."""
+    from repro.cloud.fabric import Cloud
+    from repro.workloads.echo import EchoServer, PingClient
+
+    if schedule is None:
+        schedule = default_schedule()
+    config = RESILIENT
+    trace = Trace(categories=CHAOS_CATEGORIES)
+    sim = Simulator(seed=seed, trace=trace)
+    cloud = Cloud(sim, machines=3, config=config)
+    vm = cloud.create_vm("echo", EchoServer)
+    client = cloud.add_client("client:1")
+    # fixed spacing: the client's send times are independent of every
+    # fault, so reply timestamps line up across compared runs
+    pinger = PingClient(client, "vm:echo", local_port=9000,
+                        spacing_fn=lambda rng: ping_interval)
+    sim.call_after(0.05, pinger.start)
+
+    injector = FaultInjector(cloud, schedule)
+    injector.arm()
+    cloud.run(until=duration)
+    return {
+        "sim": sim,
+        "cloud": cloud,
+        "vm": vm,
+        "pinger": pinger,
+        "injector": injector,
+        "schedule": schedule,
+    }
+
+
+def chaos_signature(trace: Trace) -> List[Tuple]:
+    """The run's deterministic signature: every fault/recovery/release
+    record, in global order, with full payloads."""
+    signature = []
+    for record in trace.iter_records(""):
+        if any(record.category == p.rstrip(".")
+               or record.category.startswith(p)
+               for p in SIGNATURE_PREFIXES):
+            signature.append((round(record.time, 9), record.category,
+                              tuple(sorted(record.payload.items()))))
+    return signature
+
+
+def determinism_check(seed: int = 7, duration: float = 3.0,
+                      schedule: Optional[FaultSchedule] = None) -> dict:
+    """Run the experiment twice with the same seed; compare signatures."""
+    first = run_chaos_experiment(seed=seed, duration=duration,
+                                 schedule=schedule)
+    second = run_chaos_experiment(seed=seed, duration=duration,
+                                 schedule=schedule)
+    sig_a = chaos_signature(first["sim"].trace)
+    sig_b = chaos_signature(second["sim"].trace)
+    divergence = None
+    for index, (a, b) in enumerate(zip(sig_a, sig_b)):
+        if a != b:
+            divergence = (index, a, b)
+            break
+    if divergence is None and len(sig_a) != len(sig_b):
+        shorter = min(len(sig_a), len(sig_b))
+        longer = sig_a if len(sig_a) > len(sig_b) else sig_b
+        divergence = (shorter, None, longer[shorter])
+    return {
+        "identical": divergence is None,
+        "records": len(sig_a),
+        "divergence": divergence,
+        "first": first,
+        "second": second,
+    }
+
+
+def chaos_timeline_rows(result: dict) -> List[Tuple]:
+    """(time, category, detail) rows for the CLI timeline."""
+    rows = []
+    for record in result["sim"].trace.iter_records(""):
+        if record.category.startswith(("fault.", "recovery.")) \
+                or record.category.startswith("egress.") \
+                and record.category != "egress.release":
+            detail = " ".join(f"{k}={v}"
+                              for k, v in sorted(record.payload.items()))
+            rows.append((f"{record.time:.4f}", record.category, detail))
+    return rows
+
+
+def service_summary(result: dict) -> dict:
+    """Client-visible availability around the fault window."""
+    pinger = result["pinger"]
+    schedule = result["schedule"]
+    crash_times = [e.time for e in schedule if e.fault == "crash_replica"]
+    restart_times = [e.time for e in schedule
+                     if e.fault == "restart_replica"]
+    window = (min(crash_times) if crash_times else 0.0,
+              max(restart_times) if restart_times else 0.0)
+    during = [t for t in pinger.reply_times if window[0] <= t <= window[1]]
+    after = [t for t in pinger.reply_times if t > window[1]]
+    return {
+        "sent": pinger.sent,
+        "replies": len(pinger.reply_times),
+        "replies_during_outage": len(during),
+        "replies_after_recovery": len(after),
+        "released": result["cloud"].egress.packets_released,
+        "window": window,
+    }

@@ -14,6 +14,7 @@ Usage::
     python -m repro collab
     python -m repro trace   [--categories vmm,ingress] [--out run.jsonl]
     python -m repro metrics [--profile] [--duration 2]
+    python -m repro chaos   [--check-determinism] [--crash-at 0.9]
     python -m repro list
 """
 
@@ -195,9 +196,54 @@ def cmd_metrics(args) -> None:
              for name, entry in top]))
 
 
+def cmd_chaos(args) -> None:
+    from repro.analysis import format_table
+    from repro.analysis.chaos import (chaos_signature, chaos_timeline_rows,
+                                      default_schedule, determinism_check,
+                                      run_chaos_experiment, service_summary)
+    schedule = default_schedule(crash_at=args.crash_at,
+                                restart_at=args.restart_at,
+                                replica=args.replica)
+    if args.check_determinism:
+        check = determinism_check(seed=args.seed, duration=args.duration,
+                                  schedule=schedule)
+        result = check["first"]
+    else:
+        check = None
+        result = run_chaos_experiment(seed=args.seed,
+                                      duration=args.duration,
+                                      schedule=schedule)
+
+    print(f"Chaos run: seed={args.seed} duration={args.duration}s, "
+          f"crash echo:{args.replica} at t={args.crash_at}, "
+          f"restart at t={args.restart_at}")
+    print(format_table(["time", "event", "detail"],
+                       chaos_timeline_rows(result)))
+    summary = service_summary(result)
+    lo, hi = summary["window"]
+    print(f"\nService: {summary['replies']}/{summary['sent']} pings "
+          f"answered; {summary['replies_during_outage']} during the "
+          f"outage window [{lo:.2f}s, {hi:.2f}s], "
+          f"{summary['replies_after_recovery']} after recovery; "
+          f"{summary['released']} packets released at egress")
+    signature = chaos_signature(result["sim"].trace)
+    print(f"Signature: {len(signature)} fault/recovery/release records")
+    if check is not None:
+        if check["identical"]:
+            print(f"Determinism: PASS -- two seed-{args.seed} runs "
+                  f"produced identical signatures "
+                  f"({check['records']} records)")
+        else:
+            index, a, b = check["divergence"]
+            print(f"Determinism: FAIL at record {index}:")
+            print(f"  run 1: {a}")
+            print(f"  run 2: {b}")
+            raise SystemExit(1)
+
+
 def cmd_list(args) -> None:
     print("Available experiments: fig1 fig4 fig5 fig6 fig7 fig8 "
-          "placement offsets covert collab trace metrics")
+          "placement offsets covert collab trace metrics chaos")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -270,6 +316,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile per-callback wall time")
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser("chaos", help="crash/recover a replica mid-run "
+                                     "under load; optionally verify "
+                                     "same-seed determinism")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--duration", type=float, default=3.0)
+    p.add_argument("--crash-at", type=float, default=0.9)
+    p.add_argument("--restart-at", type=float, default=2.0)
+    p.add_argument("--replica", type=int, default=2,
+                   help="echo replica id to crash")
+    p.add_argument("--check-determinism", action="store_true",
+                   help="run twice with the same seed and compare "
+                        "fault/recovery/release signatures")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("list", help="list experiments")
     p.set_defaults(fn=cmd_list)

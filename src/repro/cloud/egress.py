@@ -6,33 +6,95 @@ which forwards a packet toward its real destination when the *second*
 copy arrives -- the second arrival time of three is exactly the median
 of the replicas' emission times, so an external observer only ever sees
 median timing.
+
+Degraded operation: the fabric tells the egress node when a replica is
+suspected dead (:meth:`EgressNode.mark_replica_down`).  Release state
+for that VM retargets to the live copy count -- with one of three
+replicas down the release-on-2nd-copy rule is unchanged (2 live copies
+still arrive), and with two down the sole survivor's copy releases
+immediately, trading the timing protection for availability.  Entries
+that can never finish (copies from crashed replicas) no longer leak:
+a periodic sweep retires anything older than ``stale_timeout``.
 """
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.median import QuorumRelease
 from repro.net.network import Network, RealtimeNode
 from repro.net.packet import Packet, ReplicaEnvelope
 
+_Key = Tuple[str, int]
+
 
 class EgressNode:
     """Release-on-median-copy forwarding of guest output."""
 
-    def __init__(self, sim, network: Network, address: str = "egress"):
+    def __init__(self, sim, network: Network, address: str = "egress",
+                 stale_timeout: float = 2.0):
+        if stale_timeout <= 0:
+            raise ValueError(f"stale_timeout must be > 0: {stale_timeout}")
         self.sim = sim
         self.network = network
         self.address = address
+        self.stale_timeout = stale_timeout
         self.node = RealtimeNode(sim, network, address)
         self.node.register_protocol("replica-out", self._on_replica_packet)
         self._expected: Dict[str, int] = {}
-        self._releases: Dict[Tuple[str, int], QuorumRelease] = {}
+        self._down: Dict[str, set] = {}
+        self._releases: Dict[_Key, QuorumRelease] = {}
+        self._envelopes: Dict[_Key, ReplicaEnvelope] = {}
+        self._born: Dict[_Key, float] = {}
         self.packets_released = 0
+        self.stale_swept = 0
+        self._sweep_scheduled = False
 
     def register_vm(self, vm_name: str, replicas: int) -> None:
         if vm_name in self._expected:
             raise ValueError(f"VM {vm_name!r} already registered at egress")
         self._expected[vm_name] = replicas
 
+    # ------------------------------------------------------------------
+    # degraded quorum
+    # ------------------------------------------------------------------
+    def live_count(self, vm_name: str) -> int:
+        return self._expected[vm_name] - len(self._down.get(vm_name, ()))
+
+    def mark_replica_down(self, vm_name: str, replica_id: int) -> None:
+        """A replica is suspected dead: stop waiting for its copies."""
+        if vm_name not in self._expected:
+            return
+        down = self._down.setdefault(vm_name, set())
+        if replica_id in down:
+            return
+        down.add(replica_id)
+        live = self.live_count(vm_name)
+        self.sim.metrics.incr("egress.degraded")
+        self.sim.trace.record(self.sim.now, "egress.degraded",
+                              vm=vm_name, replica=replica_id, live=live)
+        self._retarget_vm(vm_name, live)
+
+    def mark_replica_up(self, vm_name: str, replica_id: int) -> None:
+        """A recovered replica rejoined: expect its copies again."""
+        down = self._down.get(vm_name)
+        if not down or replica_id not in down:
+            return
+        down.discard(replica_id)
+        live = self.live_count(vm_name)
+        self.sim.trace.record(self.sim.now, "egress.restored",
+                              vm=vm_name, replica=replica_id, live=live)
+        self._retarget_vm(vm_name, live)
+
+    def _retarget_vm(self, vm_name: str, live: int) -> None:
+        for key in sorted(k for k in self._releases if k[0] == vm_name):
+            release = self._releases[key]
+            if release.retarget(live, self.sim.now):
+                self._forward(key)
+            if release.complete:
+                self._cleanup(key)
+
+    # ------------------------------------------------------------------
+    # release pipeline
+    # ------------------------------------------------------------------
     def _on_replica_packet(self, packet: Packet) -> None:
         envelope: ReplicaEnvelope = packet.payload
         expected = self._expected.get(envelope.vm)
@@ -42,14 +104,52 @@ class EgressNode:
         release = self._releases.get(key)
         if release is None:
             release = QuorumRelease(key, expected=expected)
+            release.retarget(self.live_count(envelope.vm), self.sim.now)
             self._releases[key] = release
+            self._envelopes[key] = envelope
+            self._born[key] = self.sim.now
+            self._schedule_sweep()
         if release.arrive(envelope.replica_id, self.sim.now):
-            self.packets_released += 1
-            self.sim.trace.record(self.sim.now, "egress.release",
-                                  vm=envelope.vm, seq=envelope.seq)
-            self.network.send(envelope.inner)
+            self._forward(key)
         if release.complete:
-            del self._releases[key]
+            self._cleanup(key)
+
+    def _forward(self, key: _Key) -> None:
+        envelope = self._envelopes[key]
+        self.packets_released += 1
+        self.sim.trace.record(self.sim.now, "egress.release",
+                              vm=envelope.vm, seq=envelope.seq)
+        self.network.send(envelope.inner)
+
+    def _cleanup(self, key: _Key) -> None:
+        self._releases.pop(key, None)
+        self._envelopes.pop(key, None)
+        self._born.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # stale-entry sweeping
+    # ------------------------------------------------------------------
+    def _schedule_sweep(self) -> None:
+        if self._sweep_scheduled or not self._releases:
+            return
+        self._sweep_scheduled = True
+        self.sim.call_after(self.stale_timeout, self._sweep)
+
+    def _sweep(self) -> None:
+        self._sweep_scheduled = False
+        cutoff = self.sim.now - self.stale_timeout
+        stale = sorted(key for key, born in self._born.items()
+                       if born <= cutoff)
+        for key in stale:
+            release = self._releases[key]
+            self.stale_swept += 1
+            self.sim.metrics.incr("egress.stale")
+            self.sim.trace.record(self.sim.now, "egress.stale",
+                                  vm=key[0], seq=key[1],
+                                  released=release.released_at is not None,
+                                  arrivals=len(release.arrivals))
+            self._cleanup(key)
+        self._schedule_sweep()
 
     @property
     def pending_releases(self) -> int:

@@ -39,6 +39,11 @@ class ReplicatedVM:
     hosts: List[int]
     vmms: List[ReplicaVMM]
     workloads: List[object] = field(default_factory=list)
+    #: kept so a crashed replica can be rebuilt by replay (repro.faults)
+    workload_factory: Optional[Callable] = None
+    workload_seed: Optional[int] = None
+    #: replica_id -> ExecutionRecorder, attached by the fault injector
+    recorders: Dict[int, object] = field(default_factory=dict)
 
     @property
     def address(self) -> str:
@@ -93,9 +98,11 @@ class Cloud:
             for i in range(machines)
         ]
         self.ingress = IngressNode(sim, self.network)
-        self.egress = EgressNode(sim, self.network)
+        self.egress = EgressNode(sim, self.network,
+                                 stale_timeout=config.egress_stale_timeout)
         self.vms: Dict[str, ReplicatedVM] = {}
         self.clients: Dict[str, ClientPort] = {}
+        self._down_replicas: Dict[str, set] = {}
         self._started = False
 
     # ------------------------------------------------------------------
@@ -130,7 +137,9 @@ class Cloud:
                 self.config, workload_rng=_random.Random(workload_seed))
             vmms.append(vmm)
 
-        vm = ReplicatedVM(name=name, hosts=hosts, vmms=vmms)
+        vm = ReplicatedVM(name=name, hosts=hosts, vmms=vmms,
+                          workload_factory=workload_factory,
+                          workload_seed=workload_seed)
         self.vms[name] = vm
 
         if self.config.mediate and replica_count > 1:
@@ -168,13 +177,54 @@ class Cloud:
             }
             vmm.coordination = ReplicaCoordination(
                 self.sim, vmm, host, siblings, lead_boundaries)
+            vmm.coordination.on_suspect = (
+                lambda rid, name=vm.name: self._replica_suspected(name, rid))
+            vmm.coordination.on_rejoin = (
+                lambda rid, name=vm.name: self._replica_rejoined(name, rid))
             receiver = PgmReceiver(host.node, f"ingress.{vm.name}")
             receiver.subscribe(
                 self.ingress.address,
                 lambda envelope, seq, h=host, v=vmm:
                 h.dom0.submit(self.config.dom0_packet_cost,
                               v.observe_inbound, envelope.seq,
-                              envelope.inner))
+                              envelope.inner),
+                on_loss=lambda seq, v=vmm: self._ingress_loss(v, seq))
+
+    # ------------------------------------------------------------------
+    # failure propagation (coordination layer -> fabric -> egress)
+    # ------------------------------------------------------------------
+    def host_for(self, vm_name: str, replica_id: int) -> Host:
+        vm = self.vms[vm_name]
+        return self.hosts[vm.hosts[replica_id]]
+
+    def _replica_suspected(self, vm_name: str, replica_id: int) -> None:
+        """A survivor's failure detector fired.  All survivors report;
+        the first report degrades the egress quorum, the rest are
+        deduplicated here."""
+        down = self._down_replicas.setdefault(vm_name, set())
+        if replica_id in down:
+            return
+        down.add(replica_id)
+        if self.config.egress_enabled:
+            self.egress.mark_replica_down(vm_name, replica_id)
+
+    def _replica_rejoined(self, vm_name: str, replica_id: int) -> None:
+        down = self._down_replicas.get(vm_name)
+        if not down or replica_id not in down:
+            return
+        down.discard(replica_id)
+        if self.config.egress_enabled:
+            self.egress.mark_replica_up(vm_name, replica_id)
+
+    def _ingress_loss(self, vmm: ReplicaVMM, pgm_seq: int) -> None:
+        """NAK repair of an ingress datagram failed: this replica has
+        permanently missed an inbound packet.  Its siblings' decided
+        value (or a stale-agreement sweep) will eventually skip the
+        slot; here it is just counted and traced."""
+        self.sim.metrics.incr("fault.ingress_losses")
+        self.sim.trace.record(self.sim.now, "fault.ingress_loss",
+                              vm=vmm.vm_name, replica=vmm.replica_id,
+                              seq=pgm_seq)
 
     def _wire_baseline(self, vm: ReplicatedVM) -> None:
         host = self.hosts[vm.hosts[0]]

@@ -13,7 +13,7 @@ These are the paper's primary contribution in distilled form:
   clamp range, epoch length, replica count, pacing bound).
 """
 
-from repro.core.config import StopWatchConfig, PASSTHROUGH, DEFAULT
+from repro.core.config import StopWatchConfig, PASSTHROUGH, DEFAULT, RESILIENT
 from repro.core.errors import ConfigError, DivergenceError, ProtocolError
 from repro.core.median import (
     AGGREGATIONS,
@@ -30,6 +30,7 @@ __all__ = [
     "StopWatchConfig",
     "PASSTHROUGH",
     "DEFAULT",
+    "RESILIENT",
     "VirtualClock",
     "EpochSample",
     "resync_slope",

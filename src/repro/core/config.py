@@ -77,6 +77,24 @@ class StopWatchConfig:
     #: recover a replica whose median delivery time had already passed
     recover_on_divergence: bool = True
 
+    # -- fault tolerance (Sec. II / V availability story) -----------------------
+    #: heartbeat-based replica failure detection.  Off by default: the
+    #: base protocol (and the paper's prototype) simply stalls when a
+    #: replica dies, which several experiments assert; chaos/recovery
+    #: runs enable it (see the RESILIENT preset).
+    failure_detection: bool = False
+    #: real seconds between coordination heartbeats
+    heartbeat_interval: float = 0.02
+    #: real seconds of silence after which a sibling replica is suspected
+    #: dead and the mediation pipeline degrades to the live quorum
+    suspicion_timeout: float = 0.12
+    #: real seconds before an undecided median agreement (e.g. for a
+    #: packet a dead replica never proposed on) is swept and dropped
+    stale_agreement_timeout: float = 1.0
+    #: real seconds before an egress release entry that never completed
+    #: its quorum is swept (the crashed-replica release leak)
+    egress_stale_timeout: float = 2.0
+
     # -- dom0 device-model costs (real seconds per event) -----------------------
     #: dom0 CPU time to observe/process one inbound packet
     dom0_packet_cost: float = 40e-6
@@ -115,6 +133,15 @@ class StopWatchConfig:
             raise ConfigError("max_lead_virtual must be positive")
         if self.epoch_instructions is not None and self.epoch_instructions <= 0:
             raise ConfigError("epoch_instructions must be positive or None")
+        if self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat_interval must be positive")
+        if self.suspicion_timeout <= self.heartbeat_interval:
+            raise ConfigError("suspicion_timeout must exceed "
+                              "heartbeat_interval")
+        if self.stale_agreement_timeout <= 0:
+            raise ConfigError("stale_agreement_timeout must be positive")
+        if self.egress_stale_timeout <= 0:
+            raise ConfigError("egress_stale_timeout must be positive")
         from repro.core.median import AGGREGATIONS
         if self.aggregation not in AGGREGATIONS:
             raise ConfigError(f"unknown aggregation {self.aggregation!r}; "
@@ -141,3 +168,7 @@ DEFAULT = StopWatchConfig()
 
 #: "Unmodified Xen": one replica, no mediation, no egress indirection.
 PASSTHROUGH = StopWatchConfig(replicas=1, mediate=False, egress_enabled=False)
+
+#: The fault-tolerant deployment: full mediation plus heartbeat failure
+#: detection, degraded live-quorum agreement and stale-state sweeping.
+RESILIENT = StopWatchConfig(failure_detection=True)

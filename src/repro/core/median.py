@@ -103,7 +103,22 @@ class MedianAgreement:
 
     @property
     def decided(self) -> bool:
-        return len(self.proposals) == self.expected
+        return len(self.proposals) >= self.expected
+
+    def retarget(self, expected: int) -> bool:
+        """Change the number of proposals this agreement waits for (the
+        degraded live-quorum path: a replica died, or one rejoined).
+
+        Never drops below the proposals already collected, so a decision
+        is always over real proposals.  Returns :attr:`decided` so the
+        caller can commit immediately when the shrink completes the
+        agreement.
+        """
+        if expected < 1:
+            raise ProtocolError(f"expected replica count must be >= 1, "
+                                f"got {expected}")
+        self.expected = max(expected, len(self.proposals))
+        return self.decided
 
     def decision(self, how: str = "median") -> float:
         if not self.decided:
@@ -138,6 +153,9 @@ class QuorumRelease:
         self.quorum = quorum if quorum is not None else (expected + 1) // 2
         if not 1 <= self.quorum <= self.expected:
             raise ProtocolError(f"quorum {self.quorum} out of range")
+        #: the release-order rule for the full replica set; retargets to
+        #: a degraded live count never raise the quorum above this
+        self.base_quorum = self.quorum
         self.arrivals: Dict[int, float] = {}
         self.released_at: Optional[float] = None
 
@@ -151,14 +169,34 @@ class QuorumRelease:
                 f"{self.event_key!r}"
             )
         self.arrivals[replica_id] = time
-        if self.released_at is None and len(self.arrivals) == self.quorum:
+        if self.released_at is None and len(self.arrivals) >= self.quorum:
+            self.released_at = time
+            return True
+        return False
+
+    def retarget(self, expected: int, time: float) -> bool:
+        """Degrade (or restore) the copy count this release waits for.
+
+        The quorum keeps the release-on-median-order rule but is capped
+        at the live copy count so a crashed replica cannot wedge the
+        release forever: with 3 expected and one dead, the 2nd copy --
+        the median-order arrival among the survivors -- still gates the
+        release.  Returns True exactly once, if the retarget itself
+        completes the quorum (the caller should forward now, stamping
+        ``time`` as the release time).
+        """
+        if expected < 1:
+            raise ProtocolError("expected must be >= 1")
+        self.expected = expected
+        self.quorum = min(self.base_quorum, expected)
+        if self.released_at is None and len(self.arrivals) >= self.quorum:
             self.released_at = time
             return True
         return False
 
     @property
     def complete(self) -> bool:
-        return len(self.arrivals) == self.expected
+        return len(self.arrivals) >= self.expected
 
     def __repr__(self) -> str:
         return (f"<QuorumRelease {self.event_key!r} "

@@ -1,0 +1,33 @@
+"""Seeded, deterministic fault injection and replica recovery.
+
+- :class:`FaultSchedule` / :class:`FaultEvent` -- declarative campaigns
+  of ``(time, fault, target)`` entries, literal or seeded-random.
+- :class:`FaultInjector` -- arms a schedule against a cloud through the
+  public fault seams of each layer (host crash, network partition, link
+  degradation, coordination-multicast drops, dom0 stalls).
+- :func:`rejoin_replica` -- rebuilds a crashed replica by strict replay
+  of a survivor's recorded injection schedule, re-asserting the
+  determinism invariant before the replica rejoins the quorum.
+"""
+
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    ScheduleError,
+)
+from repro.faults.injector import FaultInjector, InjectionError
+from repro.faults.recovery import RecoveryError, pick_survivor, \
+    rejoin_replica
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "ScheduleError",
+    "FaultInjector",
+    "InjectionError",
+    "RecoveryError",
+    "pick_survivor",
+    "rejoin_replica",
+]

@@ -1,0 +1,167 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is a validated, time-sorted list of
+:class:`FaultEvent` entries -- *what* goes wrong, *where*, and *when*.
+Schedules are data: they can be written literally in tests, built from
+``(time, fault, target)`` tuples, or generated pseudo-randomly from a
+seed (:meth:`FaultSchedule.seeded`), which keeps chaos runs fully
+deterministic -- the same seed always yields the same campaign.
+
+Fault kinds and their target syntax:
+
+=================  =======================  =================================
+kind               target                   effect
+=================  =======================  =================================
+``crash_replica``  ``"<vm>:<replica>"``     the replica's host machine dies
+``restart_replica``  ``"<vm>:<replica>"``   host powers on; replica rebuilt
+                                            by replaying a survivor's
+                                            injection schedule
+``partition_host``  ``"host:<id>"``         machine partitioned off the net
+``heal_host``       ``"host:<id>"``         partition healed
+``degrade_link``    ``"<src>-><dst>"``      loss/latency/jitter raised
+                                            (params: ``loss``, ``latency``,
+                                            ``jitter``)
+``restore_link``    ``"<src>-><dst>"``      degradation undone
+``drop_proposals``  ``"<vm>:<replica>"``    next ``count`` coordination
+                                            multicasts swallowed (param
+                                            ``purge`` defeats NAK repair)
+``delay_dom0``      ``"host:<id>"``         dom0 stalled for ``duration`` s
+=================  =======================  =================================
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+FAULT_KINDS = (
+    "crash_replica",
+    "restart_replica",
+    "partition_host",
+    "heal_host",
+    "degrade_link",
+    "restore_link",
+    "drop_proposals",
+    "delay_dom0",
+)
+
+
+class ScheduleError(ValueError):
+    """An ill-formed fault schedule."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: inject ``fault`` at ``target`` at ``time``."""
+
+    time: float
+    fault: str
+    target: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ScheduleError(f"fault time must be >= 0: {self.time}")
+        if self.fault not in FAULT_KINDS:
+            raise ScheduleError(
+                f"unknown fault kind {self.fault!r}; "
+                f"expected one of {FAULT_KINDS}")
+        if not self.target:
+            raise ScheduleError(f"{self.fault} needs a target")
+
+    def signature(self) -> Tuple:
+        """Hashable identity used in determinism comparisons."""
+        return (self.time, self.fault, self.target,
+                tuple(sorted(self.params.items())))
+
+
+class FaultSchedule:
+    """A time-ordered fault campaign."""
+
+    def __init__(self, events: Iterable[FaultEvent]):
+        self.events: List[FaultEvent] = sorted(
+            events, key=lambda e: (e.time, e.fault, e.target))
+        crashed = set()
+        for event in self.events:
+            if event.fault == "crash_replica":
+                crashed.add(event.target)
+            elif event.fault == "restart_replica" \
+                    and event.target not in crashed:
+                raise ScheduleError(
+                    f"restart_replica at t={event.time} targets "
+                    f"{event.target!r} with no earlier crash_replica")
+
+    @classmethod
+    def from_entries(cls, entries: Sequence) -> "FaultSchedule":
+        """Build from ``(time, fault, target[, params])`` tuples."""
+        events = []
+        for entry in entries:
+            if len(entry) == 3:
+                time, fault, target = entry
+                params: Dict[str, Any] = {}
+            elif len(entry) == 4:
+                time, fault, target, params = entry
+            else:
+                raise ScheduleError(
+                    f"entry must be (time, fault, target[, params]): "
+                    f"{entry!r}")
+            events.append(FaultEvent(time, fault, target, dict(params)))
+        return cls(events)
+
+    @classmethod
+    def seeded(cls, seed: int, duration: float,
+               replica_targets: Sequence[str],
+               host_targets: Sequence[str] = (),
+               rate: float = 1.0,
+               recovery_delay: float = 0.5) -> "FaultSchedule":
+        """Generate a deterministic random campaign.
+
+        Draws fault times from a Poisson process of ``rate`` faults per
+        second over ``duration``.  Every generated crash is paired with
+        a restart ``recovery_delay`` later (capped to the run), so the
+        campaign always exercises the recovery path, not just the
+        degraded one.
+        """
+        if duration <= 0:
+            raise ScheduleError(f"duration must be > 0: {duration}")
+        if not replica_targets:
+            raise ScheduleError("need at least one replica target")
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        crashed = set()
+        t = rng.expovariate(rate)
+        while t < duration:
+            roll = rng.random()
+            if roll < 0.4:
+                candidates = [r for r in replica_targets
+                              if r not in crashed]
+                if candidates:
+                    target = rng.choice(candidates)
+                    crashed.add(target)
+                    events.append(FaultEvent(t, "crash_replica", target))
+                    # a restart past `duration` simply never fires
+                    events.append(FaultEvent(t + recovery_delay,
+                                             "restart_replica", target))
+            elif roll < 0.7:
+                target = rng.choice(list(replica_targets))
+                events.append(FaultEvent(
+                    t, "drop_proposals", target,
+                    {"count": rng.randint(1, 3), "purge": True}))
+            elif roll < 0.9 and host_targets:
+                target = rng.choice(list(host_targets))
+                events.append(FaultEvent(
+                    t, "delay_dom0", target,
+                    {"duration": rng.uniform(0.005, 0.05)}))
+            t += rng.expovariate(rate)
+        return cls(events)
+
+    def signature(self) -> List[Tuple]:
+        return [event.signature() for event in self.events]
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<FaultSchedule events={len(self.events)}>"

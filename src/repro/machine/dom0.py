@@ -12,6 +12,10 @@ from collections import deque
 from typing import Callable
 
 
+def _noop() -> None:
+    pass
+
+
 class Dom0Executor:
     """FIFO work queue with busy-time accounting."""
 
@@ -40,6 +44,18 @@ class Dom0Executor:
         self._recent_total += duration
         self.sim.call_at(finish, fn, *args)
         return finish
+
+    def inject_stall(self, duration: float) -> float:
+        """Fault hook: occupy dom0 for ``duration`` seconds of dead time.
+
+        Models a dom0 hiccup (ballooning, qemu stall, host-side GC):
+        every queued device-model job behind it is delayed, and the
+        activity level -- the contention signal guests observe -- spikes.
+        Returns the completion time.
+        """
+        self.sim.trace.record(self.sim.now, "fault.dom0_stall",
+                              dom0=self.name, duration=duration)
+        return self.submit(duration, _noop)
 
     def queue_delay(self) -> float:
         """Seconds a job submitted now would wait before starting."""

@@ -39,6 +39,35 @@ class Host:
         self.contention_alpha = contention_alpha
         self._noise_rng = sim.rng.stream(f"host.{host_id}.noise")
         self.vmms = []
+        self.alive = True
+        self.network = network
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash this machine: every replica VMM on it halts mid-quantum
+        and the dom0 endpoint is partitioned off the network (packets to
+        and from it are observably dropped)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.sim.trace.record(self.sim.now, "fault.host_down",
+                              host=self.host_id)
+        self.sim.metrics.incr("fault.host_failures")
+        self.network.isolate(self.address)
+        for vmm in self.vmms:
+            vmm.fail()
+
+    def restore(self) -> None:
+        """Power the machine back on: heal the partition.  Crashed VMMs
+        stay down until explicitly recovered (see repro.faults.recovery)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.network.restore(self.address)
+        self.sim.trace.record(self.sim.now, "recovery.host_up",
+                              host=self.host_id)
 
     def slowdown_factor(self) -> float:
         """Multiplier on a guest's per-branch execution time right now.

@@ -33,12 +33,44 @@ class Link:
         self.name = name
         self._rng = sim.rng.stream(f"link.{name}")
         self._head_free_at = 0.0
+        self.up = True
         self.sent_packets = 0
         self.dropped_packets = 0
         self.sent_bytes = 0
 
+    # -- fault hooks --------------------------------------------------------
+    def degrade(self, loss: Optional[float] = None,
+                latency: Optional[float] = None,
+                jitter: Optional[float] = None) -> None:
+        """Mutate link quality in place (fault injection / experiments)."""
+        if loss is not None:
+            if not 0.0 <= loss < 1.0:
+                raise ValueError(f"loss must be in [0,1), got {loss}")
+            self.loss = loss
+        if latency is not None:
+            if latency < 0:
+                raise ValueError(f"negative latency: {latency}")
+            self.latency = latency
+        if jitter is not None:
+            if jitter < 0:
+                raise ValueError(f"negative jitter: {jitter}")
+            self.jitter = jitter
+
+    def fail(self) -> None:
+        """Take the link down: every packet offered is dropped."""
+        self.up = False
+
+    def restore(self) -> None:
+        self.up = True
+
     def transmit(self, packet, deliver: Callable) -> None:
         """Send ``packet``; call ``deliver(packet)`` at arrival time."""
+        if not self.up:
+            self.dropped_packets += 1
+            self.sim.trace.record(self.sim.now, "net.drop",
+                                  link=self.name, src=packet.src,
+                                  dst=packet.dst, reason="link_down")
+            return
         self.sent_packets += 1
         self.sent_bytes += packet.size
         now = self.sim.now
@@ -49,6 +81,9 @@ class Link:
         self._head_free_at = start + tx_time
         if self.loss > 0.0 and self._rng.random() < self.loss:
             self.dropped_packets += 1
+            self.sim.trace.record(self.sim.now, "net.drop",
+                                  link=self.name, src=packet.src,
+                                  dst=packet.dst, reason="loss")
             return
         jitter = self._rng.uniform(0.0, self.jitter) if self.jitter else 0.0
         arrival_delay = (start - now) + tx_time + self.latency + jitter

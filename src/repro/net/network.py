@@ -22,9 +22,11 @@ class Network:
     def __init__(self, sim, default_link_kwargs: Optional[dict] = None):
         self.sim = sim
         self._handlers: Dict[str, Callable] = {}
+        self._isolated: Dict[str, bool] = {}
         self._routes: Dict[Tuple[Optional[str], str], Link] = {}
         self._default_kwargs = default_link_kwargs or {}
         self.delivered_packets = 0
+        self.dropped_packets = 0
 
     # -- registration -----------------------------------------------------
     def attach(self, address: str, handler: Callable) -> None:
@@ -39,6 +41,28 @@ class Network:
     def reattach(self, address: str, handler: Callable) -> None:
         """Replace the receiver for ``address`` (e.g. baseline rewiring)."""
         self._handlers[address] = handler
+
+    # -- partitions (fault injection) --------------------------------------
+    def isolate(self, address: str) -> None:
+        """Partition ``address`` off the network: packets to it are
+        dropped (observably) instead of delivered, and senders do not
+        error -- exactly what a dead or unreachable machine looks like
+        from the wire.  Idempotent; undo with :meth:`restore`."""
+        self._isolated[address] = True
+
+    def restore(self, address: str) -> None:
+        """Heal an :meth:`isolate` partition (no-op if not isolated)."""
+        self._isolated.pop(address, None)
+
+    def is_isolated(self, address: str) -> bool:
+        return address in self._isolated
+
+    def _drop(self, packet, reason: str) -> None:
+        self.dropped_packets += 1
+        self.sim.metrics.incr("net.dropped")
+        self.sim.trace.record(self.sim.now, "net.drop", src=packet.src,
+                              dst=packet.dst, protocol=packet.protocol,
+                              reason=reason)
 
     def add_route(self, src: Optional[str], dst: str, link: Link) -> None:
         """Use ``link`` for packets from ``src`` (None = any) to ``dst``."""
@@ -58,6 +82,11 @@ class Network:
     # -- transmission --------------------------------------------------------
     def send(self, packet) -> None:
         """Route ``packet`` toward its destination address."""
+        if packet.src in self._isolated:
+            # partitions are bidirectional: an isolated machine's
+            # stragglers (e.g. dom0 jobs queued pre-crash) go nowhere
+            self._drop(packet, "isolated")
+            return
         if packet.dst not in self._handlers:
             raise NetworkError(
                 f"no endpoint attached at {packet.dst!r} "
@@ -67,9 +96,15 @@ class Network:
         link.transmit(packet, self._deliver)
 
     def _deliver(self, packet) -> None:
+        if packet.dst in self._isolated:
+            self._drop(packet, "isolated")
+            return
         handler = self._handlers.get(packet.dst)
         if handler is None:
-            return  # endpoint went away in flight; drop silently
+            # endpoint went away in flight: an observable drop, not a
+            # silent one -- partition experiments count these
+            self._drop(packet, "endpoint_gone")
+            return
         self.delivered_packets += 1
         handler(packet)
 

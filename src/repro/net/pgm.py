@@ -40,7 +40,23 @@ class PgmSender:
         self._buffer: Dict[int, PgmDatagram] = {}
         self.odata_sent = 0
         self.rdata_sent = 0
+        self._drop_budget = 0
+        self._drop_purges = False
         host.register_protocol(f"pgm-nak.{group}", self._on_nak)
+
+    def drop_next(self, count: int, purge: bool = False) -> None:
+        """Fault hook: swallow the ODATA of the next ``count`` multicasts.
+
+        Without ``purge`` the datagrams stay in the retransmit buffer, so
+        receivers recover them via NAK repair (added latency only).  With
+        ``purge`` they are also evicted from the buffer: repair fails,
+        the receivers' ``max_naks`` budget runs out, and their
+        ``on_loss`` callbacks fire -- a permanent coordination loss.
+        """
+        if count < 0:
+            raise ValueError(f"negative drop count: {count}")
+        self._drop_budget += count
+        self._drop_purges = purge
 
     def multicast(self, data: Any, data_len: int = 64) -> int:
         """Send ``data`` to every member; returns the sequence number."""
@@ -52,6 +68,15 @@ class PgmSender:
         self._buffer[seq] = datagram
         if len(self._buffer) > self.retain:
             self._buffer.pop(min(self._buffer), None)
+        if self._drop_budget > 0:
+            self._drop_budget -= 1
+            if self._drop_purges:
+                self._buffer.pop(seq, None)
+            self.host.sim.trace.record(
+                self.host.now(), "net.drop", src=self.host.address,
+                dst=self.group, protocol=f"pgm.{self.group}",
+                reason="injected")
+            return seq
         for member in self.members:
             if member == self.host.address:
                 continue

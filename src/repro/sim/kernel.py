@@ -76,7 +76,7 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace=None, profile: bool = False):
         from repro.sim.rng import RngRegistry
-        from repro.sim.monitor import Trace
+        from repro.sim.monitor import MetricSet, Trace
 
         self.now: float = 0.0
         self._heap: list = []
@@ -86,6 +86,9 @@ class Simulator:
         self._cancelled_pending: int = 0
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Trace()
+        #: simulation-wide counters/observations (fault and recovery
+        #: bookkeeping records here even when tracing is disabled)
+        self.metrics = MetricSet()
         self.event_count: int = 0
         self.cancelled_count: int = 0
         self.heap_high_water: int = 0
@@ -253,6 +256,7 @@ class Simulator:
             "events_per_second": self.events_per_second(),
             "trace_records": len(self.trace),
             "trace_dropped": getattr(self.trace, "dropped", 0),
+            "metric_counters": dict(self.metrics.counters),
         }
         if self.profile:
             report["profile"] = {

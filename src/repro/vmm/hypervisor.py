@@ -80,6 +80,7 @@ class ReplicaVMM:
         self._net_seq_baseline = 0          # local seq counter (baseline)
         self._next_net_delivery_seq = 0
         self._net_commit_floor = 0.0        # FIFO clamp on delivery times
+        self._net_suppress_floor = 0        # seqs below this came via replay
         self._pending_disk = deque()
 
         # timer state
@@ -114,6 +115,7 @@ class ReplicaVMM:
             "pacing_stalls": 0,
             "pacing_stall_time": 0.0,
             "outputs": 0,
+            "skipped_deliveries": 0,
         }
         host.attach_vmm(self)
 
@@ -133,13 +135,26 @@ class ReplicaVMM:
         self.running = False
 
     def fail(self) -> None:
-        """Simulate the replica host dying: the engine halts and the
-        device model stops observing packets and making proposals.
-        Siblings' median agreements for subsequent packets can then
-        never complete -- the availability cost Sec. V-A's recovery
-        footnote addresses."""
+        """Simulate the replica host dying: the engine halts mid-quantum
+        and the device model stops observing packets and making
+        proposals.  Without failure detection the siblings' median
+        agreements for subsequent packets can then never complete -- the
+        availability cost Sec. V-A's recovery footnote addresses; with
+        ``config.failure_detection`` the siblings degrade to the live
+        quorum and this replica can later be rebuilt from their
+        injection schedule (:func:`repro.faults.recovery.rejoin_replica`).
+        """
+        if self.failed:
+            return
         self.failed = True
         self.stop()
+        self.sim.trace.record(self.sim.now, "fault.vmm_down",
+                              vm=self.vm_name, replica=self.replica_id,
+                              instr=self.instr)
+        if self._sleeping and self._engine_proc is not None \
+                and self._engine_proc.alive:
+            self._sleeping = False
+            self._engine_proc.interrupt("crash")
 
     # ------------------------------------------------------------------
     # guest-facing API (called synchronously from guest events)
@@ -213,6 +228,13 @@ class ReplicaVMM:
         """
         if self.failed:
             return
+        if seq is not None and seq < self._net_suppress_floor:
+            # NAK recovery re-delivered an inbound packet this replica
+            # already incorporated through replay-based rejoin
+            self.sim.trace.record(self.sim.now, "recovery.suppress",
+                                  vm=self.vm_name, replica=self.replica_id,
+                                  seq=seq)
+            return
         if not self.config.mediate or self.coordination is None:
             local_seq = self._net_seq_baseline
             self._net_seq_baseline += 1
@@ -227,8 +249,16 @@ class ReplicaVMM:
         self.coordination.local_proposal(seq, packet, proposal)
 
     def commit_network_delivery(self, seq: int, median_virt: float,
-                                packet: Packet) -> None:
-        """The median proposal for packet ``seq`` was decided."""
+                                packet: Optional[Packet]) -> None:
+        """The median proposal for packet ``seq`` was decided.
+
+        ``packet`` may be ``None`` when the group decided a slot this
+        replica never observed (ingress loss, or a stale agreement swept
+        under degraded operation): the slot is *skipped* at delivery
+        time so FIFO injection keeps moving.
+        """
+        if seq < self._next_net_delivery_seq:
+            return  # late decision for a slot already delivered/skipped
         delivery = max(median_virt, self._net_commit_floor)
         self._net_commit_floor = delivery
         if median_virt < self.last_exit_virt:
@@ -276,6 +306,8 @@ class ReplicaVMM:
                 try:
                     yield self.sim.timeout(duration)
                 except Interrupt:
+                    if self.failed or not self.running:
+                        return  # crashed mid-quantum: no final VM exit
                     # baseline-mode immediate injection: exit right here
                     elapsed = self.sim.now - started
                     fraction = 1.0
@@ -339,6 +371,16 @@ class ReplicaVMM:
                 break
             del self._pending_net[self._next_net_delivery_seq]
             self._next_net_delivery_seq += 1
+            if injection.packet is None:
+                # a decided-but-unobserved slot: skip it (traced; the
+                # guest never sees the packet, which is a divergence
+                # from replicas that did observe it)
+                self.stats["skipped_deliveries"] += 1
+                self.sim.trace.record(self.sim.now, "fault.skipped_delivery",
+                                      vm=self.vm_name,
+                                      replica=self.replica_id,
+                                      seq=injection.seq, virt=virt)
+                continue
             self.stats["net_interrupts"] += 1
             self.sim.trace.record(self.sim.now, "vmm.deliver.net",
                                   vm=self.vm_name, replica=self.replica_id,
@@ -347,6 +389,55 @@ class ReplicaVMM:
                 self.on_net_delivery(injection.seq, self.instr,
                                      injection.packet)
             self.guest.deliver_packet(injection.packet)
+
+    # ------------------------------------------------------------------
+    # replay-based recovery
+    # ------------------------------------------------------------------
+    def adopt_replay(self, engine) -> None:
+        """Transplant a finished :class:`~repro.vmm.replay.ReplayEngine`'s
+        guest state into this (crashed) VMM.
+
+        The engine re-executed a survivor's injection schedule, so its
+        guest, virtual clock and instruction count are exactly what this
+        replica's would have been had it not crashed.  Delivery state is
+        reset to continue from the replayed horizon: the next expected
+        ingress seq is one past the highest replayed one, and anything
+        below that floor arriving late (NAK repair of pre-crash traffic)
+        is suppressed.  Call :meth:`start` afterwards to resume
+        execution, then ``coordination.announce_rejoin()``.
+        """
+        if not self.failed:
+            raise RuntimeError(
+                f"{self.vm_name} r{self.replica_id} is live; refusing to "
+                f"overwrite its state with a replay")
+        recording = engine.recording
+        self.guest = engine.guest
+        self.guest.vmm = self
+        self.clock = engine.clock
+        self.instr = engine.instr
+        self.last_exit_virt = self.clock.time_at(self.instr)
+
+        floor = 0
+        if recording.net:
+            floor = max(seq for seq, _, _ in recording.net) + 1
+        self._pending_net = {}
+        self._pending_disk.clear()
+        self._net_suppress_floor = floor
+        self._next_net_delivery_seq = floor
+        self._net_commit_floor = self.last_exit_virt
+        self._out_seq = engine._out_seq
+        if recording.ticks:
+            self.pit_ticks = recording.ticks[-1][0]
+        self._next_pit_virt = (self.pit_ticks + 1) \
+            * self.config.pit_period_virtual
+
+        self.failed = False
+        self.stats["outputs"] = self._out_seq
+        self.sim.metrics.incr("recovery.adoptions")
+        self.sim.trace.record(self.sim.now, "recovery.adopt",
+                              vm=self.vm_name, replica=self.replica_id,
+                              instr=self.instr, net_floor=floor,
+                              outputs=self._out_seq)
 
     # ------------------------------------------------------------------
     # barriers

@@ -52,13 +52,31 @@ class ExecutionRecording:
             candidates.extend(item[1] for item in collection)
         return max(candidates)
 
+    def clone(self) -> "ExecutionRecording":
+        """A snapshot copy whose event lists can grow independently --
+        used to seed a rejoined replica's recorder from a survivor's."""
+        return ExecutionRecording(
+            vm_name=self.vm_name, config=self.config,
+            net=list(self.net), disk=list(self.disk),
+            ticks=list(self.ticks), epochs=list(self.epochs),
+            outputs=list(self.outputs))
+
 
 class ExecutionRecorder:
-    """Attach to a live ReplicaVMM to capture its injection schedule."""
+    """Attach to a live ReplicaVMM to capture its injection schedule.
 
-    def __init__(self, vmm):
-        self.recording = ExecutionRecording(vm_name=vmm.vm_name,
-                                            config=vmm.config)
+    ``base`` resumes recording on top of a cloned prior recording -- how
+    a replica rebuilt by replay becomes a valid recovery source itself:
+    its recorder carries the survivor's history up to the rejoin point
+    and appends everything the rejoined replica does afterwards.
+    """
+
+    def __init__(self, vmm, base: Optional[ExecutionRecording] = None):
+        if base is not None:
+            self.recording = base.clone()
+        else:
+            self.recording = ExecutionRecording(vm_name=vmm.vm_name,
+                                                config=vmm.config)
         vmm.on_net_delivery = self._on_net
         vmm.on_disk_delivery = self._on_disk
         vmm.on_tick = self._on_tick

@@ -1,0 +1,127 @@
+"""FaultInjector: target resolution and layer hooks."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import RESILIENT
+from repro.faults import FaultInjector, FaultSchedule, InjectionError
+from repro.sim import Simulator
+from repro.workloads import EchoServer
+
+
+def make_cloud(seed=11):
+    sim = Simulator(seed=seed)
+    cloud = Cloud(sim, machines=3, config=RESILIENT)
+    vm = cloud.create_vm("echo", EchoServer)
+    return sim, cloud, vm
+
+
+class TestTargetResolution:
+    def test_unknown_vm_rejected(self):
+        sim, cloud, _ = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries(
+            [(0.1, "crash_replica", "nope:0")]))
+        injector.arm()
+        with pytest.raises(InjectionError):
+            sim.run(until=0.5)
+
+    def test_bad_replica_id_rejected(self):
+        sim, cloud, _ = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries(
+            [(0.1, "crash_replica", "echo:9")]))
+        injector.arm()
+        with pytest.raises(InjectionError):
+            sim.run(until=0.5)
+
+    def test_bad_host_rejected(self):
+        sim, cloud, _ = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries(
+            [(0.1, "partition_host", "host:99")]))
+        injector.arm()
+        with pytest.raises(InjectionError):
+            sim.run(until=0.5)
+
+    def test_double_arm_rejected(self):
+        _, cloud, _ = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule([]))
+        injector.arm()
+        with pytest.raises(InjectionError):
+            injector.arm()
+
+
+class TestInjection:
+    def test_crash_fails_host_and_vmm(self):
+        sim, cloud, vm = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries(
+            [(0.2, "crash_replica", "echo:1")]))
+        injector.arm()
+        cloud.run(until=0.3)
+        assert not cloud.hosts[1].alive
+        assert vm.vmms[1].failed
+        assert cloud.network.is_isolated("host:1")
+        assert len(injector.applied) == 1
+        assert sim.metrics.counters["fault.injected"] == 1
+
+    def test_partition_and_heal(self):
+        sim, cloud, _ = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries([
+            (0.1, "partition_host", "host:2"),
+            (0.3, "heal_host", "host:2"),
+        ]))
+        injector.arm()
+        cloud.run(until=0.2)
+        assert cloud.network.is_isolated("host:2")
+        sim.run(until=0.4)
+        assert not cloud.network.is_isolated("host:2")
+
+    def test_degrade_and_restore_link(self):
+        sim, cloud, _ = make_cloud()
+        link = cloud.network.link_for("host:0", "host:1")
+        original = (link.loss, link.latency)
+        injector = FaultInjector(cloud, FaultSchedule.from_entries([
+            (0.1, "degrade_link", "host:0->host:1",
+             {"loss": 0.5, "latency": 0.05}),
+            (0.3, "restore_link", "host:0->host:1"),
+        ]))
+        injector.arm()
+        cloud.run(until=0.2)
+        assert (link.loss, link.latency) == (0.5, 0.05)
+        sim.run(until=0.4)
+        assert (link.loss, link.latency) == original
+
+    def test_restore_link_without_degrade_rejected(self):
+        sim, cloud, _ = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries(
+            [(0.1, "restore_link", "host:0->host:1")]))
+        injector.arm()
+        with pytest.raises(InjectionError):
+            sim.run(until=0.5)
+
+    def test_drop_proposals_swallows_multicasts(self):
+        sim, cloud, vm = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries(
+            [(0.1, "drop_proposals", "echo:0",
+              {"count": 2, "purge": False})]))
+        injector.arm()
+        cloud.run(until=0.5)
+        sender = vm.vmms[0].coordination.sender
+        assert sender._drop_budget == 0  # budget consumed by traffic
+        injected = [r for r in sim.trace.iter_records("net.drop")
+                    if r.payload.get("reason") == "injected"]
+        assert len(injected) == 2
+        assert all(r.payload["src"] == "host:0" for r in injected)
+        # purge=False: receivers repaired the gap via NAK -> RDATA
+        assert sender.rdata_sent >= 1
+
+    def test_delay_dom0_occupies_queue(self):
+        sim, cloud, _ = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries(
+            [(0.1, "delay_dom0", "host:0", {"duration": 0.5})]))
+        injector.arm()
+        cloud.run(until=0.11)
+        assert cloud.hosts[0].dom0.queue_delay() > 0.4
+
+    def test_recorders_attached_for_recovery(self):
+        _, cloud, vm = make_cloud()
+        FaultInjector(cloud, FaultSchedule([]))
+        assert sorted(vm.recorders) == [0, 1, 2]
