@@ -9,18 +9,23 @@ import os
 
 import pytest
 
+from repro.ioutil import atomic_write_text
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 @pytest.fixture
 def save_result():
-    """Write (and echo) a named result artifact."""
+    """Write (and echo) a named result artifact.
+
+    Writes go through temp-file + ``os.replace`` so parallel workers or
+    an interrupted run can never leave a truncated artifact behind.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
 
     def _save(name: str, text: str) -> str:
         path = os.path.join(RESULTS_DIR, name)
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        atomic_write_text(path, text + "\n")
         print(f"\n=== {name} ===\n{text}")
         return path
 

@@ -20,6 +20,7 @@ from repro.analysis.experiments import (
     delta_n_ablation,
     epoch_resync_ablation,
     PARSEC_PAPER_VALUES,
+    RUNNERS,
 )
 
 __all__ = [
@@ -38,4 +39,5 @@ __all__ = [
     "delta_n_ablation",
     "epoch_resync_ablation",
     "PARSEC_PAPER_VALUES",
+    "RUNNERS",
 ]

@@ -6,7 +6,7 @@ targets under ``benchmarks/`` call these with reduced durations; the
 examples call them with fuller settings.
 """
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -143,8 +143,16 @@ def _download_once(config: StopWatchConfig, size: int, udp: bool,
 
 def fig5_file_download(sizes: Sequence[int] = (1_000, 10_000, 100_000,
                                                1_000_000, 10_000_000),
-                       trials: int = 1, seed: int = 1) -> List[tuple]:
-    """Fig. 5 rows: (size, http_base, http_sw, udp_base, udp_sw), seconds."""
+                       trials: int = 1, seed: int = 1,
+                       sim_until: float = 120.0) -> List[tuple]:
+    """Fig. 5 rows: (size, http_base, http_sw, udp_base, udp_sw), seconds.
+
+    ``sim_until`` caps the simulated seconds per condition; the default
+    covers the 10 MB download, but sweep cells over small sizes can cut
+    it down (the simulator bills for idle VMM ticks after the download
+    completes, so a 5 kB cell at the default is ~60x costlier than at
+    ``sim_until=2``).
+    """
     rows = []
     for size in sizes:
         cells = []
@@ -153,7 +161,8 @@ def fig5_file_download(sizes: Sequence[int] = (1_000, 10_000, 100_000,
                 latencies = []
                 for trial in range(trials):
                     latency = _download_once(config, size, udp,
-                                             seed + trial)
+                                             seed + trial,
+                                             timeout=sim_until)
                     if latency is not None:
                         latencies.append(latency)
                 cells.append(sum(latencies) / len(latencies)
@@ -413,3 +422,22 @@ def aggregation_ablation(aggregations: Sequence[str] = ("median", "leader",
         curve = result.detection_curve([confidence])
         rows.append((how, curve[0][1]))
     return rows
+
+
+#: Every public runner, dispatchable by name.  ``repro.campaign`` fans
+#: these out across worker processes, so each entry must be a
+#: module-level function whose kwargs are picklable plain data.
+RUNNERS: Dict[str, Callable] = {
+    "fig1_median_cdfs": fig1_median_cdfs,
+    "fig1_observation_curves": fig1_observation_curves,
+    "fig4_empirical_detection": fig4_empirical_detection,
+    "fig5_file_download": fig5_file_download,
+    "fig6_nfs": fig6_nfs,
+    "fig7_parsec": fig7_parsec,
+    "fig8_noise_comparison": fig8_noise_comparison,
+    "placement_utilization": placement_utilization,
+    "delta_offset_translation": delta_offset_translation,
+    "aggregation_ablation": aggregation_ablation,
+    "delta_n_ablation": delta_n_ablation,
+    "epoch_resync_ablation": epoch_resync_ablation,
+}

@@ -1,0 +1,432 @@
+"""Parallel, fault-tolerant campaign execution.
+
+The scheduler fans cells out over a ``ProcessPoolExecutor`` with at
+most ``jobs`` tasks in flight (lazy submission, so a submitted task is
+executing, not queueing -- which is what makes parent-side hang
+detection meaningful).  Failure semantics:
+
+- **exception in a runner** -- the worker catches it and returns a
+  ``failed`` record with the traceback; the campaign continues.
+- **timeout** -- enforced *inside* the worker via ``SIGALRM``
+  (interrupts pure-Python runners reliably); a parent-side backstop
+  catches truly hung workers by recycling the pool.
+- **worker crash** (segfault, OOM-kill) -- surfaces as
+  ``BrokenProcessPool``; the pool is rebuilt with fresh workers and the
+  in-flight cells are charged one attempt each.
+- **bounded retries** -- every failed/timed-out/crashed cell is
+  resubmitted until its attempt budget (``retries + 1``) is spent; the
+  final record keeps the last error.
+
+Completed cells are written to the :class:`~repro.campaign.cache.ResultCache`
+and appended to the campaign manifest as they finish, so an interrupted
+campaign resumes from exactly the missing cells.  The orchestrator
+records its own lifecycle into the PR-1 observability layer: a
+``campaign.*`` :class:`~repro.sim.monitor.Trace` (wall-clock times) and
+a :class:`~repro.sim.monitor.MetricSet` of task counters/durations.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                CancelledError, ProcessPoolExecutor, wait)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import CampaignSpec, TaskCell, resolve_runner
+from repro.ioutil import append_jsonl
+from repro.sim.monitor import MetricSet, Trace
+
+#: extra parent-side wall time granted beyond the in-worker timeout
+#: before a worker is declared hung and the pool recycled
+HANG_GRACE = 5.0
+
+
+class TaskTimeout(Exception):
+    """Raised inside a worker when the per-task alarm fires."""
+
+
+def _json_default(obj: Any) -> Any:
+    """Coerce numpy scalars/arrays to plain data; ``repr`` the rest."""
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        try:
+            return tolist()
+        except Exception:
+            pass
+    return repr(obj)
+
+
+def normalize_result(value: Any) -> Any:
+    """A JSON round-trip: tuples become lists, numpy scalars become
+    numbers, unserialisable objects become their ``repr``.  This is the
+    form results take in the cache and the aggregation layer."""
+    return json.loads(json.dumps(value, default=_json_default))
+
+
+def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell in the current process; never raises.
+
+    ``payload`` is the picklable task description produced by
+    :meth:`CampaignExecutor._payload`.  The returned record always has
+    ``status`` (``ok`` / ``failed`` / ``timeout``) and ``duration``.
+    """
+    timeout = payload.get("timeout")
+    use_alarm = (timeout is not None and hasattr(signal, "SIGALRM")
+                 and threading.current_thread()
+                 is threading.main_thread())
+    start = time.perf_counter()
+    previous_handler = None
+    try:
+        fn = resolve_runner(payload["runner"])
+        kwargs = dict(payload["params"])
+        if payload.get("seed") is not None:
+            kwargs[payload.get("seed_param", "seed")] = payload["seed"]
+        if use_alarm:
+            def _alarm(_signum, _frame):
+                raise TaskTimeout(
+                    f"cell exceeded its {timeout:g}s timeout")
+            previous_handler = signal.signal(signal.SIGALRM, _alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        value = fn(**kwargs)
+        return {"status": "ok", "value": normalize_result(value),
+                "error": None, "traceback": None,
+                "duration": time.perf_counter() - start}
+    except TaskTimeout as exc:
+        return {"status": "timeout", "value": None, "error": str(exc),
+                "traceback": None,
+                "duration": time.perf_counter() - start}
+    except Exception as exc:
+        return {"status": "failed", "value": None, "error": repr(exc),
+                "traceback": traceback.format_exc(),
+                "duration": time.perf_counter() - start}
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            if previous_handler is not None:
+                signal.signal(signal.SIGALRM, previous_handler)
+
+
+@dataclass
+class CellResult:
+    """Final outcome of one cell (cached or freshly executed)."""
+
+    cell: TaskCell
+    status: str                 # ok | failed | timeout | crashed
+    value: Any = None
+    error: Optional[str] = None
+    duration: float = 0.0
+    attempts: int = 1
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def record(self) -> Dict[str, Any]:
+        """The cache/manifest representation."""
+        return {"runner": self.cell.runner, "params": self.cell.params,
+                "seed": self.cell.seed, "status": self.status,
+                "value": self.value, "error": self.error,
+                "duration": self.duration, "attempts": self.attempts}
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign run produced, plus its telemetry."""
+
+    name: str
+    results: List[CellResult]
+    wall_seconds: float
+    trace: Trace = field(default_factory=Trace)
+    metrics: MetricSet = field(default_factory=MetricSet)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def executed(self) -> int:
+        return len(self.results) - self.cache_hits
+
+    @property
+    def failures(self) -> List[CellResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / len(self.results) if self.results else 0.0
+
+    @property
+    def tasks_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.executed / self.wall_seconds
+
+    def summary_rows(self) -> List[tuple]:
+        retries = self.metrics.counters.get("retries", 0)
+        return [
+            ("cells", len(self.results)),
+            ("executed", self.executed),
+            ("cache hits", self.cache_hits),
+            ("cache hit rate", f"{100.0 * self.hit_rate:.1f}%"),
+            ("failed", len(self.failures)),
+            ("retries", retries),
+            ("wall seconds", self.wall_seconds),
+            ("tasks/sec", self.tasks_per_second),
+        ]
+
+
+class CampaignExecutor:
+    """Schedule a :class:`CampaignSpec` across worker processes.
+
+    ``jobs <= 0`` means one worker per CPU.  ``inline=True`` bypasses
+    the process pool entirely (sequential, in-process) -- useful for
+    tests and debugging; crash isolation is lost but exception/timeout
+    handling is identical.
+    """
+
+    def __init__(self, spec: CampaignSpec, cache: Optional[ResultCache],
+                 jobs: int = 1, timeout: Optional[float] = None,
+                 retries: Optional[int] = None, inline: bool = False,
+                 manifest_path: Optional[str] = None,
+                 progress: Optional[Callable[[str], None]] = None):
+        self.spec = spec
+        self.cache = cache
+        self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+        self.timeout = timeout if timeout is not None else spec.timeout
+        self.retries = retries if retries is not None else spec.retries
+        self.inline = inline
+        self.manifest_path = manifest_path
+        self.progress = progress
+        self.trace = Trace()
+        self.metrics = MetricSet()
+        self._t0 = 0.0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- plumbing ------------------------------------------------------
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _emit(self, category: str, **payload: Any) -> None:
+        self.trace.record(self._now(), category, **payload)
+
+    def _say(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def _payload(self, cell: TaskCell) -> Dict[str, Any]:
+        return {"runner": cell.runner, "params": cell.params,
+                "seed": cell.seed, "seed_param": cell.seed_param,
+                "timeout": self.timeout}
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _recycle_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # shutdown() alone never kills a *running* worker, so a hung
+        # task would stall the campaign forever; terminate the worker
+        # processes so their futures fail over to the BrokenExecutor /
+        # CancelledError paths in the collection loop.
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- bookkeeping for finished cells --------------------------------
+    def _finish(self, index: int, cell: TaskCell, outcome: Dict[str, Any],
+                attempts: int, results: Dict[int, CellResult],
+                done_count: List[int], total: int) -> None:
+        result = CellResult(cell=cell, status=outcome["status"],
+                            value=outcome.get("value"),
+                            error=outcome.get("error"),
+                            duration=outcome.get("duration", 0.0),
+                            attempts=attempts, cached=False)
+        results[index] = result
+        key = None
+        if self.cache is not None:
+            key = self.cache.key(cell)
+            record = result.record()
+            record["traceback"] = outcome.get("traceback")
+            self.cache.put(key, record)
+        if self.manifest_path is not None:
+            append_jsonl(self.manifest_path, {
+                "key": key, "runner": cell.runner, "seed": cell.seed,
+                "params": cell.params, "status": result.status,
+                "cached": False, "duration": result.duration,
+                "attempts": attempts})
+        self.metrics.incr("executed")
+        self.metrics.incr(result.status)
+        self.metrics.observe("task.duration", result.duration)
+        category = ("campaign.task.done" if result.ok
+                    else "campaign.task.failed")
+        self._emit(category, runner=cell.runner, seed=cell.seed,
+                   status=result.status, duration=result.duration,
+                   attempts=attempts)
+        done_count[0] += 1
+        state = result.status if not result.ok else "ok"
+        self._say(f"[{done_count[0]}/{total}] {cell.label()} -- {state} "
+                  f"in {result.duration:.2f}s"
+                  + (f" ({attempts} attempts)" if attempts > 1 else ""))
+
+    def _retry(self, cell: TaskCell, attempts: int, status: str) -> None:
+        self.metrics.incr("retries")
+        self._emit("campaign.task.retry", runner=cell.runner,
+                   seed=cell.seed, status=status, attempt=attempts + 1)
+        self._say(f"retry {cell.label()} after {status} "
+                  f"(attempt {attempts + 1}/{self.retries + 1})")
+
+    # -- the run -------------------------------------------------------
+    def run(self) -> CampaignReport:
+        self._t0 = time.monotonic()
+        cells = self.spec.expand()
+        total = len(cells)
+        self.metrics.incr("cells", total)
+        results: Dict[int, CellResult] = {}
+        done_count = [0]
+        pending: List[int] = []
+
+        for index, cell in enumerate(cells):
+            record = (self.cache.get(self.cache.key(cell))
+                      if self.cache is not None else None)
+            if record is not None and record.get("status") == "ok":
+                results[index] = CellResult(
+                    cell=cell, status="ok", value=record.get("value"),
+                    duration=record.get("duration", 0.0),
+                    attempts=record.get("attempts", 1), cached=True)
+                self.metrics.incr("cache.hits")
+                self._emit("campaign.cache.hit", runner=cell.runner,
+                           seed=cell.seed)
+                done_count[0] += 1
+                self._say(f"[{done_count[0]}/{total}] {cell.label()} "
+                          f"-- cached")
+                if self.manifest_path is not None:
+                    append_jsonl(self.manifest_path, {
+                        "key": self.cache.key(cell),
+                        "runner": cell.runner, "seed": cell.seed,
+                        "params": cell.params, "status": "ok",
+                        "cached": True,
+                        "duration": record.get("duration", 0.0),
+                        "attempts": record.get("attempts", 1)})
+            else:
+                self.metrics.incr("cache.misses")
+                pending.append(index)
+
+        if self.inline:
+            self._run_inline(cells, pending, results, done_count, total)
+        else:
+            self._run_pool(cells, pending, results, done_count, total)
+
+        wall = time.monotonic() - self._t0
+        ordered = [results[i] for i in sorted(results)]
+        return CampaignReport(name=self.spec.name, results=ordered,
+                              wall_seconds=wall, trace=self.trace,
+                              metrics=self.metrics)
+
+    def _run_inline(self, cells, pending, results, done_count, total):
+        for index in pending:
+            cell = cells[index]
+            attempts = 0
+            while True:
+                attempts += 1
+                self._emit("campaign.task.start", runner=cell.runner,
+                           seed=cell.seed, attempt=attempts)
+                outcome = execute_cell(self._payload(cell))
+                if outcome["status"] == "ok" \
+                        or attempts > self.retries:
+                    self._finish(index, cell, outcome, attempts,
+                                 results, done_count, total)
+                    break
+                self._retry(cell, attempts, outcome["status"])
+
+    def _run_pool(self, cells, pending, results, done_count, total):
+        queue = list(pending)       # indices not yet submitted
+        attempts: Dict[int, int] = {i: 0 for i in pending}
+        in_flight: Dict[Any, tuple] = {}    # future -> (index, started)
+        try:
+            while queue or in_flight:
+                while queue and len(in_flight) < self.jobs:
+                    index = queue.pop(0)
+                    cell = cells[index]
+                    attempts[index] += 1
+                    self._emit("campaign.task.start", runner=cell.runner,
+                               seed=cell.seed, attempt=attempts[index])
+                    future = self._ensure_pool().submit(
+                        execute_cell, self._payload(cell))
+                    in_flight[future] = (index, time.monotonic())
+
+                done, _ = wait(list(in_flight), timeout=0.25,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, _started = in_flight.pop(future)
+                    cell = cells[index]
+                    try:
+                        outcome = future.result()
+                    except (BrokenExecutor, OSError) as exc:
+                        # worker died; fresh workers for everyone
+                        self._recycle_pool()
+                        outcome = {"status": "crashed",
+                                   "error": repr(exc), "value": None,
+                                   "duration": 0.0}
+                    except CancelledError:
+                        # a pool recycle cancelled this queued task;
+                        # resubmit without charging an attempt
+                        attempts[index] -= 1
+                        queue.append(index)
+                        continue
+                    if outcome["status"] == "ok" \
+                            or attempts[index] > self.retries:
+                        self._finish(index, cell, outcome,
+                                     attempts[index], results,
+                                     done_count, total)
+                    else:
+                        self._retry(cell, attempts[index],
+                                    outcome["status"])
+                        queue.append(index)
+
+                if self.timeout is not None:
+                    self._reap_hung(cells, in_flight, queue)
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def _reap_hung(self, cells, in_flight, queue) -> None:
+        """Parent-side backstop: a worker that outlived its in-worker
+        alarm by :data:`HANG_GRACE` is stuck in uninterruptible code;
+        recycle the whole pool (the only way to kill a pool worker) and
+        let the cancelled siblings resubmit for free."""
+        deadline = self.timeout + max(HANG_GRACE, 0.25 * self.timeout)
+        now = time.monotonic()
+        hung = [future for future, (_i, started) in in_flight.items()
+                if not future.done() and now - started > deadline]
+        if not hung:
+            return
+        self._recycle_pool()
+        # hung cells come back through the CancelledError/BrokenExecutor
+        # paths above with their attempt already charged; nothing else
+        # to do here -- but trace the event so the summary explains the
+        # stall.
+        for future in hung:
+            index, started = in_flight[future]
+            cell = cells[index]
+            self._emit("campaign.task.hung", runner=cell.runner,
+                       seed=cell.seed, ran_for=now - started)
+            self.metrics.incr("hung")
+
+
+def run_campaign(spec: CampaignSpec, cache: Optional[ResultCache] = None,
+                 **kwargs: Any) -> CampaignReport:
+    """One-call convenience wrapper around :class:`CampaignExecutor`."""
+    return CampaignExecutor(spec, cache, **kwargs).run()

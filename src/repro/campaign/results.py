@@ -1,0 +1,139 @@
+"""Typed result store and cross-seed aggregation.
+
+Runners return either *row lists* (``[(size, http_base, ...), ...]``)
+or free-form dicts.  Row-list results aggregate across the seed sweep:
+cells are grouped by (runner, params-without-seed), rows are aligned by
+index, and every numeric column gets mean / stdev / p50 / p95 (exact
+order statistics via the same :func:`repro.analysis.report.summarize`
+machinery the figure tables use).  A row's leading element becomes its
+label when it is identical across all seeds (e.g. the file size in
+fig5); otherwise the row index is used.  Dict-valued results are kept
+verbatim in the store but skipped by the aggregate table.
+
+All iteration is over sorted keys and seeds, so two runs of the same
+spec render byte-identical tables.
+"""
+
+import statistics
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.report import format_table, summarize
+from repro.campaign.executor import CellResult
+from repro.ioutil import atomic_write_text
+
+AGGREGATE_HEADERS = ("runner", "cell", "row", "col", "seeds", "mean",
+                     "stdev", "p50", "p95")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _cell_label(params: Dict[str, Any]) -> str:
+    if not params:
+        return "-"
+    return " ".join(f"{key}={params[key]!r}" for key in sorted(params))
+
+
+@dataclass
+class AggregateRow:
+    """One (cell, row, column) summary across the seed sweep."""
+
+    runner: str
+    cell: str
+    row: Any
+    col: int
+    seeds: int
+    mean: float
+    stdev: float
+    p50: float
+    p95: float
+
+    def as_tuple(self) -> tuple:
+        return (self.runner, self.cell, self.row, self.col, self.seeds,
+                self.mean, self.stdev, self.p50, self.p95)
+
+
+class ResultStore:
+    """Cell results indexed for aggregation and rendering."""
+
+    def __init__(self, results: Optional[List[CellResult]] = None):
+        self._results: List[CellResult] = []
+        for result in results or []:
+            self.add(result)
+
+    def add(self, result: CellResult) -> None:
+        self._results.append(result)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    @property
+    def results(self) -> List[CellResult]:
+        return list(self._results)
+
+    # -- grouping ------------------------------------------------------
+    def groups(self) -> Dict[Tuple[str, str], List[CellResult]]:
+        """Successful row-list results grouped by (runner, params key),
+        each group's members sorted by seed."""
+        grouped: Dict[Tuple[str, str], List[CellResult]] = {}
+        for result in self._results:
+            if not result.ok:
+                continue
+            if not isinstance(result.value, list):
+                continue
+            grouped.setdefault(
+                (result.cell.runner, result.cell.params_key),
+                []).append(result)
+        for members in grouped.values():
+            members.sort(key=lambda r: (r.cell.seed is not None,
+                                        r.cell.seed))
+        return grouped
+
+    def unaggregated(self) -> int:
+        """Successful cells whose values are not row lists."""
+        return sum(1 for r in self._results
+                   if r.ok and not isinstance(r.value, list))
+
+    # -- aggregation ---------------------------------------------------
+    def aggregate(self) -> List[AggregateRow]:
+        out: List[AggregateRow] = []
+        for (runner, _params_key), members in sorted(self.groups().items()):
+            label = _cell_label(members[0].cell.params)
+            tables = [member.value for member in members]
+            n_rows = min(len(table) for table in tables)
+            for r in range(n_rows):
+                rows = [row if isinstance(row, (list, tuple)) else [row]
+                        for row in (table[r] for table in tables)]
+                width = min(len(row) for row in rows)
+                if width == 0:
+                    continue
+                firsts = [row[0] for row in rows]
+                labelled = len(set(map(repr, firsts))) == 1
+                row_label = firsts[0] if labelled else r
+                start = 1 if labelled else 0
+                for c in range(start, width):
+                    values = [row[c] for row in rows]
+                    if not all(_is_number(v) for v in values):
+                        continue
+                    floats = [float(v) for v in values]
+                    stats = summarize(floats, percentiles=(50, 95))
+                    stdev = (statistics.stdev(floats)
+                             if len(floats) > 1 else 0.0)
+                    out.append(AggregateRow(
+                        runner=runner, cell=label, row=row_label, col=c,
+                        seeds=len(floats), mean=stats["mean"],
+                        stdev=stdev, p50=stats["p50"],
+                        p95=stats["p95"]))
+        return out
+
+    # -- rendering -----------------------------------------------------
+    def render_aggregate(self) -> str:
+        """The same aligned-ASCII format ``benchmarks/results/*.txt``
+        uses."""
+        rows = [agg.as_tuple() for agg in self.aggregate()]
+        return format_table(list(AGGREGATE_HEADERS), rows)
+
+    def save_aggregate(self, path: str) -> str:
+        return atomic_write_text(path, self.render_aggregate() + "\n")

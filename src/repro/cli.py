@@ -15,6 +15,10 @@ Usage::
     python -m repro trace   [--categories vmm,ingress] [--out run.jsonl]
     python -m repro metrics [--profile] [--duration 2]
     python -m repro chaos   [--check-determinism] [--crash-at 0.9]
+    python -m repro campaign run examples/fig5_sweep.toml --jobs 0
+    python -m repro campaign status examples/fig5_sweep.toml
+    python -m repro campaign resume examples/fig5_sweep.toml
+    python -m repro campaign aggregate examples/fig5_sweep.toml
     python -m repro list
 """
 
@@ -242,8 +246,10 @@ def cmd_chaos(args) -> None:
 
 
 def cmd_list(args) -> None:
+    from repro.analysis.experiments import RUNNERS
     print("Available experiments: fig1 fig4 fig5 fig6 fig7 fig8 "
-          "placement offsets covert collab trace metrics chaos")
+          "placement offsets covert collab trace metrics chaos campaign")
+    print("Campaign runners: " + " ".join(sorted(RUNNERS)))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -330,6 +336,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run twice with the same seed and compare "
                         "fault/recovery/release signatures")
     p.set_defaults(fn=cmd_chaos)
+
+    from repro.campaign.cli import add_campaign_parser
+    add_campaign_parser(sub)
 
     p = sub.add_parser("list", help="list experiments")
     p.set_defaults(fn=cmd_list)

@@ -1,0 +1,64 @@
+"""Crash-safe file helpers shared by result writers.
+
+Campaign workers and the benchmark harness write artifacts that other
+processes (a resumed campaign, the aggregation pass, a human) read
+back; a truncated file from an interrupted run must be impossible.
+Everything here goes through the same discipline: write to a temp file
+in the destination directory, fsync, then ``os.replace`` — atomic on
+POSIX, so readers see either the old complete content or the new one.
+"""
+
+import json
+import os
+import tempfile
+from typing import Any, Iterable
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> str:
+    """Atomically replace ``path`` with ``text``; returns ``path``."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: str, obj: Any, **dumps_kwargs: Any) -> str:
+    """Atomically write ``obj`` as JSON (tuples become lists, unknown
+    objects their ``repr``)."""
+    dumps_kwargs.setdefault("default", repr)
+    dumps_kwargs.setdefault("sort_keys", True)
+    return atomic_write_text(path, json.dumps(obj, **dumps_kwargs) + "\n")
+
+
+def append_jsonl(path: str, obj: Any) -> None:
+    """Append one JSON line to ``path`` (single write, newline-framed,
+    so concurrent appenders from different processes never interleave
+    mid-record on POSIX)."""
+    line = json.dumps(obj, default=repr, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+
+
+def read_jsonl(path: str) -> Iterable[dict]:
+    """Yield parsed objects from a JSONL file, skipping blank lines."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

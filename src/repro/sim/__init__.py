@@ -29,7 +29,7 @@ from repro.sim.kernel import Simulator, ScheduledCall
 from repro.sim.process import Process
 from repro.sim.channel import Channel, Store
 from repro.sim.resources import Resource
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, derive_root_seed
 from repro.sim.monitor import (Trace, TraceRecord, MetricSet, Histogram,
                                JsonlSink, CategoryFilter, category_matches)
 
@@ -46,6 +46,7 @@ __all__ = [
     "Store",
     "Resource",
     "RngRegistry",
+    "derive_root_seed",
     "Trace",
     "TraceRecord",
     "MetricSet",

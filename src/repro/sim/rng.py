@@ -17,6 +17,18 @@ def _derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def derive_root_seed(base: int, index: int) -> int:
+    """Root seed for sweep cell ``index`` of a campaign seeded ``base``.
+
+    Seed sweeps must not use ``base + index`` arithmetic: neighbouring
+    root seeds feed the same SHA-256 stream derivation, and nothing
+    guarantees the *named* streams of run ``i`` and run ``i + 1`` stay
+    independent.  Hashing the index through the same derivation used for
+    stream names gives every sweep cell its own seed universe.
+    """
+    return _derive_seed(base, f"sweep/{index}")
+
+
 class RngRegistry:
     """A factory of named, reproducible ``random.Random`` streams."""
 
@@ -31,6 +43,11 @@ class RngRegistry:
             stream = random.Random(_derive_seed(self.root_seed, name))
             self._streams[name] = stream
         return stream
+
+    def spawn(self, index: int) -> "RngRegistry":
+        """A sibling registry for sweep cell ``index`` (see
+        :func:`derive_root_seed`)."""
+        return RngRegistry(derive_root_seed(self.root_seed, index))
 
     def fork(self, name: str) -> "RngRegistry":
         """A child registry whose root seed derives from ``name``.

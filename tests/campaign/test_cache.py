@@ -1,0 +1,120 @@
+"""Tests for the content-addressed result cache and atomic writes."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import ResultCache, TaskCell, cell_key, code_fingerprint
+from repro.ioutil import append_jsonl, atomic_write_text, read_jsonl
+
+
+class TestCellKey:
+    def test_param_order_insensitive(self):
+        a = TaskCell("r", {"x": 1, "y": 2}, seed=3)
+        b = TaskCell("r", {"y": 2, "x": 1}, seed=3)
+        assert cell_key(a, "fp") == cell_key(b, "fp")
+
+    def test_seed_params_runner_fingerprint_all_matter(self):
+        base = TaskCell("r", {"x": 1}, seed=3)
+        key = cell_key(base, "fp")
+        assert cell_key(TaskCell("r", {"x": 1}, seed=4), "fp") != key
+        assert cell_key(TaskCell("r", {"x": 2}, seed=3), "fp") != key
+        assert cell_key(TaskCell("q", {"x": 1}, seed=3), "fp") != key
+        assert cell_key(base, "fp2") != key
+
+    def test_unseeded_differs_from_seed_zero(self):
+        assert cell_key(TaskCell("r", {}, seed=None), "fp") \
+            != cell_key(TaskCell("r", {}, seed=0), "fp")
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_tracks_source_content(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        first = code_fingerprint(str(pkg))
+        (pkg / "a.py").write_text("x = 2\n")
+        # per-process memoisation is keyed by directory; clear it
+        from repro.campaign import cache as cache_mod
+        cache_mod._FINGERPRINT_CACHE.pop(str(pkg))
+        assert code_fingerprint(str(pkg)) != first
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="fp")
+        cell = TaskCell("r", {"x": 1}, seed=2)
+        key = cache.key(cell)
+        assert cache.get(key) is None
+        cache.put(key, {"status": "ok", "value": [[1, 2.5]]})
+        record = cache.get(key)
+        assert record["status"] == "ok"
+        assert record["value"] == [[1, 2.5]]
+        assert key in cache
+        assert len(cache) == 1
+        assert list(cache.keys()) == [key]
+
+    def test_fingerprint_mismatch_reads_as_miss(self, tmp_path):
+        root = str(tmp_path / "c")
+        old = ResultCache(root, fingerprint="old")
+        cell = TaskCell("r", {}, seed=1)
+        old.put(old.key(cell), {"status": "ok", "value": []})
+        new = ResultCache(root, fingerprint="new")
+        assert new.get(new.key(cell)) is None        # different key
+        assert new.get(old.key(cell)) is None        # defensive check
+
+    def test_corrupt_record_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="fp")
+        key = cache.key(TaskCell("r", {}, seed=1))
+        with open(os.path.join(cache.root, f"{key}.json"), "w") as f:
+            f.write('{"status": "ok", "va')         # truncated
+        assert cache.get(key) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="fp")
+        for i in range(5):
+            cell = TaskCell("r", {"i": i}, seed=0)
+            cache.put(cache.key(cell), {"status": "ok", "value": [[i]]})
+        leftovers = [n for n in os.listdir(cache.root)
+                     if not n.endswith(".json")]
+        assert leftovers == []
+        assert len(cache) == 5
+
+
+class TestAtomicIO:
+    def test_atomic_write_replaces_whole_file(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "first version with a long tail")
+        atomic_write_text(path, "second")
+        with open(path) as handle:
+            assert handle.read() == "second"
+        assert [n for n in os.listdir(tmp_path)
+                if n.endswith(".tmp")] == []
+
+    def test_atomic_write_creates_parents(self, tmp_path):
+        path = str(tmp_path / "deep" / "er" / "out.txt")
+        atomic_write_text(path, "x")
+        assert open(path).read() == "x"
+
+    def test_jsonl_append_and_read(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_jsonl(path, {"a": 1})
+        append_jsonl(path, {"b": (2, 3)})     # tuple -> list
+        rows = list(read_jsonl(path))
+        assert rows == [{"a": 1}, {"b": [2, 3]}]
+
+    def test_benchmark_save_result_is_atomic(self, tmp_path, monkeypatch):
+        """The benchmarks' ``save_result`` fixture goes through the same
+        temp+replace path."""
+        import benchmarks.conftest as bconf
+        monkeypatch.setattr(bconf, "RESULTS_DIR", str(tmp_path))
+        fixture_fn = bconf.save_result.__wrapped__
+        save = fixture_fn()
+        path = save("table.txt", "hello")
+        assert open(path).read() == "hello\n"
+        assert [n for n in os.listdir(tmp_path)
+                if n.endswith(".tmp")] == []

@@ -1,0 +1,103 @@
+"""Tests for cross-seed aggregation and deterministic rendering."""
+
+import statistics
+
+from repro.campaign import CellResult, ResultStore, TaskCell
+
+
+def _result(runner, params, seed, rows, **kwargs):
+    return CellResult(cell=TaskCell(runner, params, seed), status="ok",
+                      value=rows, **kwargs)
+
+
+def _fig5ish(seed, scale=1.0):
+    """Rows shaped like fig5: (size, then four latency columns)."""
+    v = scale * (1.0 + 0.1 * seed)
+    return [[1000, v, 2 * v, 3 * v, 4 * v],
+            [10000, 10 * v, 20 * v, 30 * v, 40 * v]]
+
+
+class TestAggregation:
+    def test_mean_stdev_percentiles(self):
+        store = ResultStore([
+            _result("r", {"sizes": [1000]}, seed, _fig5ish(seed))
+            for seed in (0, 1, 2, 3)])
+        rows = store.aggregate()
+        # 2 rows x 4 numeric columns each (col 0 is the row label)
+        assert len(rows) == 8
+        first = rows[0]
+        values = [1.0, 1.1, 1.2, 1.3]
+        assert first.runner == "r"
+        assert first.row == 1000
+        assert first.col == 1
+        assert first.seeds == 4
+        assert first.mean == sum(values) / 4
+        assert abs(first.stdev - statistics.stdev(values)) < 1e-12
+        assert first.p50 == 1.1
+        assert first.p95 == 1.3
+
+    def test_single_seed_has_zero_stdev(self):
+        store = ResultStore([_result("r", {}, 5, [[1, 2.5]])])
+        (row,) = store.aggregate()
+        assert row.seeds == 1
+        assert row.stdev == 0.0
+        assert row.mean == 2.5
+
+    def test_string_label_column_is_skipped(self):
+        store = ResultStore([
+            _result("r", {}, s, [["ferret", 1.0 + s], ["dedup", 2.0 + s]])
+            for s in (0, 1)])
+        rows = store.aggregate()
+        assert [(r.row, r.col) for r in rows] \
+            == [("ferret", 1), ("dedup", 1)]
+
+    def test_varying_first_column_uses_row_index(self):
+        store = ResultStore([
+            _result("r", {}, s, [[0.5 + s, 1.0]]) for s in (0, 1)])
+        (first, second) = store.aggregate()
+        assert first.row == 0
+        assert first.col == 0          # the varying column is data
+        assert second.col == 1
+
+    def test_groups_split_by_params_not_seed(self):
+        store = ResultStore(
+            [_result("r", {"x": 1}, s, [[1, 1.0]]) for s in (0, 1)]
+            + [_result("r", {"x": 2}, s, [[1, 9.0]]) for s in (0, 1)])
+        rows = store.aggregate()
+        assert len(rows) == 2
+        assert {r.cell for r in rows} == {"x=1", "x=2"}
+
+    def test_failed_and_dict_results_excluded(self):
+        store = ResultStore([
+            _result("r", {}, 0, [[1, 1.0]]),
+            CellResult(cell=TaskCell("r", {}, 1), status="failed"),
+            CellResult(cell=TaskCell("d", {}, 0), status="ok",
+                       value={"table": [1, 2]}),
+        ])
+        rows = store.aggregate()
+        assert len(rows) == 1
+        assert rows[0].seeds == 1
+        assert store.unaggregated() == 1
+
+
+class TestRendering:
+    def test_byte_identical_across_runs_and_insertion_orders(self):
+        results = [
+            _result("b", {"x": 2}, s, _fig5ish(s, scale=2.0))
+            for s in (0, 1)
+        ] + [
+            _result("a", {"x": 1}, s, _fig5ish(s)) for s in (1, 0)
+        ]
+        text1 = ResultStore(results).render_aggregate()
+        text2 = ResultStore(list(reversed(results))).render_aggregate()
+        assert text1 == text2
+        assert text1.splitlines()[0].split() \
+            == ["runner", "cell", "row", "col", "seeds", "mean",
+                "stdev", "p50", "p95"]
+
+    def test_save_aggregate_atomic(self, tmp_path):
+        store = ResultStore([_result("r", {}, 0, [[1, 2.0]])])
+        path = store.save_aggregate(str(tmp_path / "agg.txt"))
+        text = open(path).read()
+        assert text.endswith("\n")
+        assert "2.00" in text or "2.0000" in text

@@ -204,3 +204,47 @@ def test_metricset_histogram_kicks_in_past_sample_cap():
     # histogram estimate: within the bucket's relative error of exact
     assert abs(snap["p50"] - 500.0) / 500.0 < 0.05
     assert abs(snap["p99"] - 990.0) / 990.0 < 0.05
+
+
+def test_derive_root_seed_is_deterministic_and_distinct():
+    from repro.sim import derive_root_seed
+    seeds = [derive_root_seed(42, i) for i in range(1000)]
+    assert seeds == [derive_root_seed(42, i) for i in range(1000)]
+    assert len(set(seeds)) == 1000
+
+
+def test_derive_root_seed_is_not_base_plus_index():
+    from repro.sim import derive_root_seed
+    seeds = [derive_root_seed(7, i) for i in range(8)]
+    assert seeds != [7 + i for i in range(8)]
+    diffs = {b - a for a, b in zip(seeds, seeds[1:])}
+    assert diffs != {1}
+
+
+def test_spawn_creates_independent_registries():
+    base = RngRegistry(11)
+    child0 = base.spawn(0)
+    child1 = base.spawn(1)
+    draws0 = [child0.stream("workload").random() for _ in range(32)]
+    draws1 = [child1.stream("workload").random() for _ in range(32)]
+    assert draws0 != draws1
+    # no pairwise collisions in the streams themselves
+    assert not set(draws0) & set(draws1)
+
+
+def test_spawn_is_reproducible_and_differs_from_parent():
+    base = RngRegistry(11)
+    again = RngRegistry(11).spawn(3)
+    assert base.spawn(3).stream("x").random() \
+        == again.stream("x").random()
+    assert base.spawn(3).stream("x").random() \
+        != RngRegistry(11).stream("x").random()
+
+
+def test_neighbouring_spawn_indices_do_not_collide_with_base_plus_one():
+    # spawn(i) must not equal a registry seeded with root + i
+    base = RngRegistry(20)
+    for i in (1, 2, 3):
+        spawned = base.spawn(i).stream("s").random()
+        naive = RngRegistry(20 + i).stream("s").random()
+        assert spawned != naive
