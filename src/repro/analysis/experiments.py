@@ -441,3 +441,14 @@ RUNNERS: Dict[str, Callable] = {
     "delta_n_ablation": delta_n_ablation,
     "epoch_resync_ablation": epoch_resync_ablation,
 }
+
+
+def _register_flow_runner() -> None:
+    # analysis.flows imports observe -> experiments, so register lazily
+    # to keep module import acyclic
+    from repro.analysis.flows import flow_stage_latency
+
+    RUNNERS["flow_stage_latency"] = flow_stage_latency
+
+
+_register_flow_runner()

@@ -20,10 +20,12 @@ def run_observed_workload(duration: float = 2.0, seed: int = 5,
                           max_per_category: Optional[int] = None,
                           profile: bool = False,
                           jsonl_path: Optional[str] = None,
+                          flows: bool = False,
                           ) -> Tuple[Simulator, Optional[JsonlSink]]:
     """Run the echo+compute cloud with tracing enabled; returns the
     simulator (trace attached) and the streaming sink, if one was
-    requested."""
+    requested.  ``flows=True`` also turns on causal span/flow tracking
+    (``sim.flows``)."""
     from repro.analysis.experiments import PERF_HOST_KWARGS
     from repro.cloud.fabric import Cloud
     from repro.workloads.echo import EchoServer, PingClient
@@ -33,6 +35,8 @@ def run_observed_workload(duration: float = 2.0, seed: int = 5,
                   max_per_category=max_per_category)
     sink = JsonlSink(jsonl_path, trace) if jsonl_path else None
     sim = Simulator(seed=seed, trace=trace, profile=profile)
+    if flows:
+        sim.flows.enable()
     cloud = Cloud(sim, machines=3, config=DEFAULT,
                   host_kwargs=PERF_HOST_KWARGS)
     cloud.create_vm("echo", EchoServer)

@@ -59,6 +59,9 @@ def _print_report(spec: CampaignSpec, report: CampaignReport,
     if aggregate.count("\n") >= 2:      # more than headers + rule
         print("\nAggregate over seeds (mean/stdev/p50/p95):")
         print(aggregate)
+    if store.metric_rollup():
+        print("\nMetric rollup (per-seed snapshots averaged):")
+        print(store.render_metric_rollup())
     skipped = store.unaggregated()
     if skipped:
         print(f"\n({skipped} cells returned non-tabular results and "
@@ -168,13 +171,17 @@ def cmd_campaign_aggregate(args) -> None:
                              value=record.get("value"),
                              duration=record.get("duration", 0.0),
                              attempts=record.get("attempts", 1),
-                             cached=True))
+                             cached=True,
+                             metrics=record.get("metrics")))
     if len(store) == 0:
         raise SystemExit(f"error: no completed cells for {spec.name}; "
                          f"run the campaign first")
     print(f"Campaign {spec.name}: aggregate over {len(store)} cells"
           + (f" ({missing} missing/failed)" if missing else ""))
     print(store.render_aggregate())
+    if store.metric_rollup():
+        print("\nMetric rollup (per-seed snapshots averaged):")
+        print(store.render_metric_rollup())
     out = args.out or os.path.join(_state_dir(args, spec),
                                    "aggregate.txt")
     store.save_aggregate(out)

@@ -92,8 +92,11 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                     f"cell exceeded its {timeout:g}s timeout")
             previous_handler = signal.signal(signal.SIGALRM, _alarm)
             signal.setitimer(signal.ITIMER_REAL, timeout)
-        value = fn(**kwargs)
-        return {"status": "ok", "value": normalize_result(value),
+        value = normalize_result(fn(**kwargs))
+        metrics = (value.get("metrics")
+                   if isinstance(value, dict)
+                   and isinstance(value.get("metrics"), dict) else None)
+        return {"status": "ok", "value": value, "metrics": metrics,
                 "error": None, "traceback": None,
                 "duration": time.perf_counter() - start}
     except TaskTimeout as exc:
@@ -122,6 +125,10 @@ class CellResult:
     duration: float = 0.0
     attempts: int = 1
     cached: bool = False
+    #: the runner's MetricSet.snapshot(), when it returned one (a dict
+    #: value with a "metrics" key) -- persisted through cache and
+    #: manifest for cross-seed rollups
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -132,7 +139,8 @@ class CellResult:
         return {"runner": self.cell.runner, "params": self.cell.params,
                 "seed": self.cell.seed, "status": self.status,
                 "value": self.value, "error": self.error,
-                "duration": self.duration, "attempts": self.attempts}
+                "duration": self.duration, "attempts": self.attempts,
+                "metrics": self.metrics}
 
 
 @dataclass
@@ -252,7 +260,8 @@ class CampaignExecutor:
                             value=outcome.get("value"),
                             error=outcome.get("error"),
                             duration=outcome.get("duration", 0.0),
-                            attempts=attempts, cached=False)
+                            attempts=attempts, cached=False,
+                            metrics=outcome.get("metrics"))
         results[index] = result
         key = None
         if self.cache is not None:
@@ -265,7 +274,7 @@ class CampaignExecutor:
                 "key": key, "runner": cell.runner, "seed": cell.seed,
                 "params": cell.params, "status": result.status,
                 "cached": False, "duration": result.duration,
-                "attempts": attempts})
+                "attempts": attempts, "metrics": result.metrics})
         self.metrics.incr("executed")
         self.metrics.incr(result.status)
         self.metrics.observe("task.duration", result.duration)
@@ -304,7 +313,8 @@ class CampaignExecutor:
                 results[index] = CellResult(
                     cell=cell, status="ok", value=record.get("value"),
                     duration=record.get("duration", 0.0),
-                    attempts=record.get("attempts", 1), cached=True)
+                    attempts=record.get("attempts", 1), cached=True,
+                    metrics=record.get("metrics"))
                 self.metrics.incr("cache.hits")
                 self._emit("campaign.cache.hit", runner=cell.runner,
                            seed=cell.seed)

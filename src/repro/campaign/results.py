@@ -7,8 +7,15 @@ index, and every numeric column gets mean / stdev / p50 / p95 (exact
 order statistics via the same :func:`repro.analysis.report.summarize`
 machinery the figure tables use).  A row's leading element becomes its
 label when it is identical across all seeds (e.g. the file size in
-fig5); otherwise the row index is used.  Dict-valued results are kept
+fig5); otherwise the row index is used.  A dict value with a ``"rows"``
+list aggregates the same way; other dict-valued results are kept
 verbatim in the store but skipped by the aggregate table.
+
+Runners that return a ``"metrics"`` key (a
+:meth:`~repro.sim.monitor.MetricSet.snapshot`, e.g. the per-stage
+latency percentiles from ``flow_stage_latency``) additionally roll up
+per metric across the seed sweep: :meth:`ResultStore.metric_rollup`
+averages each seed's count/mean/p50/p95/p99 per metric name.
 
 All iteration is over sorted keys and seeds, so two runs of the same
 spec render byte-identical tables.
@@ -24,6 +31,18 @@ from repro.ioutil import atomic_write_text
 
 AGGREGATE_HEADERS = ("runner", "cell", "row", "col", "seeds", "mean",
                      "stdev", "p50", "p95")
+
+METRIC_HEADERS = ("runner", "cell", "metric", "seeds", "count", "mean",
+                  "p50", "p95", "p99")
+
+
+def _table_of(result: "CellResult"):
+    """The row list inside a result value, or ``None``: either the value
+    itself or its ``"rows"`` entry for dict-shaped runner returns."""
+    value = result.value
+    if isinstance(value, dict):
+        value = value.get("rows")
+    return value if isinstance(value, list) else None
 
 
 def _is_number(value: Any) -> bool:
@@ -75,13 +94,12 @@ class ResultStore:
 
     # -- grouping ------------------------------------------------------
     def groups(self) -> Dict[Tuple[str, str], List[CellResult]]:
-        """Successful row-list results grouped by (runner, params key),
-        each group's members sorted by seed."""
+        """Successful tabular results (row lists, or dicts carrying a
+        ``"rows"`` list) grouped by (runner, params key), each group's
+        members sorted by seed."""
         grouped: Dict[Tuple[str, str], List[CellResult]] = {}
         for result in self._results:
-            if not result.ok:
-                continue
-            if not isinstance(result.value, list):
+            if not result.ok or _table_of(result) is None:
                 continue
             grouped.setdefault(
                 (result.cell.runner, result.cell.params_key),
@@ -92,16 +110,16 @@ class ResultStore:
         return grouped
 
     def unaggregated(self) -> int:
-        """Successful cells whose values are not row lists."""
+        """Successful cells whose values carry no row table."""
         return sum(1 for r in self._results
-                   if r.ok and not isinstance(r.value, list))
+                   if r.ok and _table_of(r) is None)
 
     # -- aggregation ---------------------------------------------------
     def aggregate(self) -> List[AggregateRow]:
         out: List[AggregateRow] = []
         for (runner, _params_key), members in sorted(self.groups().items()):
             label = _cell_label(members[0].cell.params)
-            tables = [member.value for member in members]
+            tables = [_table_of(member) for member in members]
             n_rows = min(len(table) for table in tables)
             for r in range(n_rows):
                 rows = [row if isinstance(row, (list, tuple)) else [row]
@@ -128,6 +146,40 @@ class ResultStore:
                         p95=stats["p95"]))
         return out
 
+    # -- metric rollup -------------------------------------------------
+    def metric_rollup(self) -> List[tuple]:
+        """(runner, cell, metric, seeds, count, mean, p50, p95, p99)
+        rows: per-metric observation stats averaged across the seed
+        sweep, from the ``metrics`` snapshots runners persisted."""
+        grouped: Dict[Tuple[str, str], List[CellResult]] = {}
+        for result in self._results:
+            if result.ok and isinstance(result.metrics, dict):
+                grouped.setdefault(
+                    (result.cell.runner, result.cell.params_key),
+                    []).append(result)
+        rows: List[tuple] = []
+        for (runner, _params_key), members in sorted(grouped.items()):
+            members.sort(key=lambda r: (r.cell.seed is not None,
+                                        r.cell.seed))
+            label = _cell_label(members[0].cell.params)
+            names: List[str] = []
+            for member in members:
+                for name in member.metrics.get("observations", {}):
+                    if name not in names:
+                        names.append(name)
+            for name in sorted(names):
+                stats = [member.metrics["observations"][name]
+                         for member in members
+                         if name in member.metrics.get("observations", {})]
+                def avg(field):
+                    values = [s[field] for s in stats
+                              if _is_number(s.get(field))]
+                    return (sum(values) / len(values)) if values else 0.0
+                rows.append((runner, label, name, len(stats),
+                             avg("count"), avg("mean"), avg("p50"),
+                             avg("p95"), avg("p99")))
+        return rows
+
     # -- rendering -----------------------------------------------------
     def render_aggregate(self) -> str:
         """The same aligned-ASCII format ``benchmarks/results/*.txt``
@@ -135,5 +187,12 @@ class ResultStore:
         rows = [agg.as_tuple() for agg in self.aggregate()]
         return format_table(list(AGGREGATE_HEADERS), rows)
 
+    def render_metric_rollup(self) -> str:
+        return format_table(list(METRIC_HEADERS), self.metric_rollup())
+
     def save_aggregate(self, path: str) -> str:
-        return atomic_write_text(path, self.render_aggregate() + "\n")
+        text = self.render_aggregate()
+        if self.metric_rollup():
+            text += "\n\nMetric rollup (per-seed snapshots averaged):\n"
+            text += self.render_metric_rollup()
+        return atomic_write_text(path, text + "\n")

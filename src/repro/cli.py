@@ -14,6 +14,8 @@ Usage::
     python -m repro collab
     python -m repro trace   [--categories vmm,ingress] [--out run.jsonl]
     python -m repro metrics [--profile] [--duration 2]
+    python -m repro spans   [--perfetto out.json] [--validate]
+    python -m repro flows   [--flow echo/3] [--top-k 10]
     python -m repro chaos   [--check-determinism] [--crash-at 0.9]
     python -m repro campaign run examples/fig5_sweep.toml --jobs 0
     python -m repro campaign status examples/fig5_sweep.toml
@@ -200,6 +202,72 @@ def cmd_metrics(args) -> None:
              for name, entry in top]))
 
 
+def cmd_spans(args) -> None:
+    from repro.analysis import format_table
+    from repro.analysis.flows import flow_summary, run_flow_workload
+    from repro.obs import export_perfetto, validate_file
+
+    sim = run_flow_workload(duration=args.duration, seed=args.seed)
+    summary = flow_summary(sim.flows)
+    print(f"Spans: {summary['spans']} recorded "
+          f"({summary['open_spans']} open, "
+          f"{summary['dropped_spans']} dropped) across "
+          f"{summary['flows']} flows")
+    counts = sim.flows.store.name_counts()
+    print(format_table(["span", "count"],
+                       sorted(counts.items())))
+    if args.perfetto:
+        written = export_perfetto(sim.flows.store, args.perfetto)
+        print(f"\nExported {written} duration events to {args.perfetto} "
+              f"(open in https://ui.perfetto.dev)")
+        if args.validate:
+            problems = validate_file(args.perfetto)
+            if problems:
+                print("Validation FAILED:")
+                for problem in problems:
+                    print(f"  - {problem}")
+                raise SystemExit(1)
+            print("Validation: PASS (parses, pid/tid/ts/dur present, "
+                  "critical stages sum to end-to-end)")
+    elif args.validate:
+        raise SystemExit("--validate requires --perfetto OUT")
+
+
+def cmd_flows(args) -> None:
+    from repro.analysis import format_table
+    from repro.analysis.flows import (flow_detail_rows, flow_stage_rows,
+                                      flow_summary, run_flow_workload,
+                                      slowest_flow_rows)
+    from repro.obs import STAGES
+
+    sim = run_flow_workload(duration=args.duration, seed=args.seed)
+    tracker = sim.flows
+    summary = flow_summary(tracker)
+    print(f"Flows: {summary['complete']} complete / {summary['flows']} "
+          f"tracked ({summary['incomplete']} incomplete, "
+          f"{summary['dropped_flows']} evicted, "
+          f"{summary['nak_repairs']} NAK repairs)")
+    if args.flow:
+        flow, rows = flow_detail_rows(tracker, args.flow)
+        if flow is None:
+            raise SystemExit(f"unknown flow {args.flow!r} (ids look like "
+                             f"'echo/3'; try the slowest-flows table)")
+        e2e = flow.end_to_end
+        state = (f"end-to-end {e2e * 1000:.3f} ms"
+                 if e2e is not None else "not yet released")
+        print(f"\nFlow {flow.flow_id}: {state}, "
+              f"critical replica {flow.release_replica}")
+        print(format_table(["span", "replica", "start ms", "end ms",
+                            "dur ms", "annotations"], rows))
+        return
+    print("\nCritical-path stage latency (ms):")
+    print(format_table(["stage", "count", "mean", "p50", "p95", "p99"],
+                       flow_stage_rows(tracker)))
+    print(f"\nSlowest {args.top_k} flows (ms):")
+    print(format_table(["flow", "e2e", "dominant"] + list(STAGES),
+                       slowest_flow_rows(tracker, top_k=args.top_k)))
+
+
 def cmd_chaos(args) -> None:
     from repro.analysis import format_table
     from repro.analysis.chaos import (chaos_signature, chaos_timeline_rows,
@@ -248,7 +316,8 @@ def cmd_chaos(args) -> None:
 def cmd_list(args) -> None:
     from repro.analysis.experiments import RUNNERS
     print("Available experiments: fig1 fig4 fig5 fig6 fig7 fig8 "
-          "placement offsets covert collab trace metrics chaos campaign")
+          "placement offsets covert collab trace metrics spans flows "
+          "chaos campaign")
     print("Campaign runners: " + " ".join(sorted(RUNNERS)))
 
 
@@ -322,6 +391,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile per-callback wall time")
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser("spans", help="record a span-tracked run; "
+                                     "summarize and export Perfetto JSON")
+    p.add_argument("--duration", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument("--perfetto", default=None, metavar="OUT",
+                   help="write Chrome trace-event JSON to this file")
+    p.add_argument("--validate", action="store_true",
+                   help="validate the exported trace (with --perfetto); "
+                        "non-zero exit on failure")
+    p.set_defaults(fn=cmd_spans)
+
+    p = sub.add_parser("flows", help="per-flow mediation-delay "
+                                     "attribution (critical-path stages)")
+    p.add_argument("--duration", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument("--flow", default=None, metavar="ID",
+                   help="show one flow's span timeline (e.g. echo/3)")
+    p.add_argument("--top-k", type=_positive_int, default=10,
+                   help="slowest flows to list")
+    p.set_defaults(fn=cmd_flows)
 
     p = sub.add_parser("chaos", help="crash/recover a replica mid-run "
                                      "under load; optionally verify "

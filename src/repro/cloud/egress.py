@@ -88,7 +88,7 @@ class EgressNode:
         for key in sorted(k for k in self._releases if k[0] == vm_name):
             release = self._releases[key]
             if release.retarget(live, self.sim.now):
-                self._forward(key)
+                self._forward(key)  # no single triggering copy
             if release.complete:
                 self._cleanup(key)
 
@@ -109,16 +109,24 @@ class EgressNode:
             self._envelopes[key] = envelope
             self._born[key] = self.sim.now
             self._schedule_sweep()
+        self.sim.flows.copy_arrived(self.sim.now, envelope.vm, envelope.seq,
+                                    envelope.replica_id)
         if release.arrive(envelope.replica_id, self.sim.now):
-            self._forward(key)
+            self._forward(key, trigger=envelope.replica_id)
         if release.complete:
             self._cleanup(key)
 
-    def _forward(self, key: _Key) -> None:
+    def _forward(self, key: _Key, trigger: Optional[int] = None) -> None:
+        """Forward toward the real destination.  ``trigger`` is the
+        replica whose copy completed the quorum -- the flow layer's
+        critical-path replica (``None`` for degraded retarget releases).
+        """
         envelope = self._envelopes[key]
         self.packets_released += 1
         self.sim.trace.record(self.sim.now, "egress.release",
                               vm=envelope.vm, seq=envelope.seq)
+        self.sim.flows.output_released(self.sim.now, envelope.vm,
+                                       envelope.seq, trigger)
         self.network.send(envelope.inner)
 
     def _cleanup(self, key: _Key) -> None:

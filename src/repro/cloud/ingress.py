@@ -43,10 +43,12 @@ class IngressNode:
         envelope = ReplicaEnvelope(vm=vm_name, direction="in", seq=seq,
                                    inner=packet)
         self.packets_replicated += 1
+        sender = self._senders[vm_name]
         self.sim.trace.record(self.sim.now, "ingress.replicate",
                               vm=vm_name, seq=seq)
-        self._senders[vm_name].multicast(envelope,
-                                         data_len=envelope.wire_size())
+        self.sim.flows.flow_admitted(self.sim.now, vm_name, seq,
+                                     replicas=len(sender.members))
+        sender.multicast(envelope, data_len=envelope.wire_size())
 
     def __repr__(self) -> str:
         return f"<IngressNode {self.address} vms={len(self._senders)}>"

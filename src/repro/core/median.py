@@ -105,6 +105,15 @@ class MedianAgreement:
     def decided(self) -> bool:
         return len(self.proposals) >= self.expected
 
+    def spread(self) -> float:
+        """Max - min of the proposals collected so far (0.0 when fewer
+        than two): how far the replicas' virtual times had diverged when
+        they saw this event -- the quantity Δn must absorb."""
+        if len(self.proposals) < 2:
+            return 0.0
+        values = self.proposals.values()
+        return max(values) - min(values)
+
     def retarget(self, expected: int) -> bool:
         """Change the number of proposals this agreement waits for (the
         degraded live-quorum path: a replica died, or one rejoined).

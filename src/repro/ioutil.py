@@ -8,33 +8,78 @@ in the destination directory, fsync, then ``os.replace`` — atomic on
 POSIX, so readers see either the old complete content or the new one.
 """
 
+import contextlib
 import json
 import os
 import tempfile
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator, TextIO
+
+
+class AtomicWriter:
+    """A text handle whose content only appears at ``path`` on commit.
+
+    Writes go to a temp file in the destination directory;
+    :meth:`commit` fsyncs and ``os.replace``s it over ``path``,
+    :meth:`discard` deletes it.  A process that dies mid-write leaves
+    the destination untouched (only a ``.tmp`` straggler).  Long-lived
+    writers (:class:`~repro.sim.monitor.JsonlSink`) hold one of these
+    across a whole run; one-shot writers use :func:`atomic_writer` /
+    :func:`atomic_write_text`.
+    """
+
+    def __init__(self, path: str, encoding: str = "utf-8"):
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, self._tmp = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(self.path) + ".",
+            suffix=".tmp")
+        self.handle: TextIO = os.fdopen(fd, "w", encoding=encoding)
+
+    @property
+    def closed(self) -> bool:
+        return self.handle.closed
+
+    def write(self, text: str) -> int:
+        return self.handle.write(text)
+
+    def commit(self) -> str:
+        """Publish the written content at ``path`` (idempotent)."""
+        if not self.handle.closed:
+            self.handle.flush()
+            os.fsync(self.handle.fileno())
+            self.handle.close()
+            os.replace(self._tmp, self.path)
+        return self.path
+
+    def discard(self) -> None:
+        """Drop the temp file; ``path`` is left as it was."""
+        if not self.handle.closed:
+            self.handle.close()
+            try:
+                os.unlink(self._tmp)
+            except OSError:
+                pass
+
+
+@contextlib.contextmanager
+def atomic_writer(path: str, encoding: str = "utf-8") -> Iterator[TextIO]:
+    """Context manager: yields a text handle; commits atomically on
+    clean exit, discards (destination untouched) on exception."""
+    writer = AtomicWriter(path, encoding=encoding)
+    try:
+        yield writer.handle
+    except BaseException:
+        writer.discard()
+        raise
+    writer.commit()
 
 
 def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> str:
     """Atomically replace ``path`` with ``text``; returns ``path``."""
-    path = os.fspath(path)
-    directory = os.path.dirname(path) or "."
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory,
-                               prefix=os.path.basename(path) + ".",
-                               suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding=encoding) as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-    return path
+    with atomic_writer(path, encoding=encoding) as handle:
+        handle.write(text)
+    return os.fspath(path)
 
 
 def atomic_write_json(path: str, obj: Any, **dumps_kwargs: Any) -> str:

@@ -25,16 +25,25 @@ from repro.machine.devices.clocks import GuestClockPanel
 
 
 class GuestTimer:
-    """Cancellable handle for a scheduled guest event."""
+    """Cancellable handle for a scheduled guest event.
 
-    __slots__ = ("instr", "seq", "fn", "args", "cancelled")
+    ``flow`` carries the inbound-packet flow context active when the
+    event was scheduled, so asynchronous work (an echo reply after a
+    compute phase, a file chunk after a disk read) stays attributed to
+    the packet that caused it.  Purely observational -- it never affects
+    ordering.
+    """
 
-    def __init__(self, instr: int, seq: int, fn: Callable, args: tuple):
+    __slots__ = ("instr", "seq", "fn", "args", "cancelled", "flow")
+
+    def __init__(self, instr: int, seq: int, fn: Callable, args: tuple,
+                 flow: Optional[int] = None):
         self.instr = instr
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.flow = flow
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -59,6 +68,7 @@ class GuestOS:
         self.clocks = GuestClockPanel(rtc_boot_epoch=vmm.clock.start)
         self.packets_received = 0
         self.packets_sent = 0
+        self._current_flow: Optional[int] = None
 
     # ------------------------------------------------------------------
     # NetHost interface + guest extras (workload-facing)
@@ -101,7 +111,8 @@ class GuestOS:
 
     def schedule_at_instr(self, instr: int, fn: Callable,
                           *args) -> GuestTimer:
-        timer = GuestTimer(instr, self._seq, fn, args)
+        timer = GuestTimer(instr, self._seq, fn, args,
+                           flow=self._current_flow)
         self._seq += 1
         heapq.heappush(self._events, timer)
         self.vmm.notify_guest_event()
@@ -139,7 +150,8 @@ class GuestOS:
         return self._events[0].instr if self._events else None
 
     def run_due_events(self, instr: int) -> None:
-        """Execute every pending event with ``event.instr <= instr``."""
+        """Execute every pending event with ``event.instr <= instr``,
+        each under the flow context it was scheduled in."""
         while self._events:
             head = self._events[0]
             if head.cancelled:
@@ -150,7 +162,11 @@ class GuestOS:
             heapq.heappop(self._events)
             fn, args = head.fn, head.args
             head.fn, head.args = None, ()
-            fn(*args)
+            self._current_flow = head.flow
+            try:
+                fn(*args)
+            finally:
+                self._current_flow = None
 
     def deliver_packet(self, packet) -> None:
         """Called by the VMM when a network interrupt is injected."""
@@ -158,6 +174,17 @@ class GuestOS:
         handler = self._protocols.get(packet.protocol)
         if handler is not None:
             handler(packet)
+
+    # ------------------------------------------------------------------
+    # flow context (observability only; see repro.obs.flows)
+    # ------------------------------------------------------------------
+    def current_flow(self) -> Optional[int]:
+        """The inbound-packet flow the guest is currently servicing."""
+        return self._current_flow
+
+    def set_flow(self, flow: Optional[int]) -> None:
+        """Set the active flow context (the VMM brackets injections)."""
+        self._current_flow = flow
 
     def deliver_tick(self, index: int) -> None:
         for handler in self._tick_handlers:

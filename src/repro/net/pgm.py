@@ -214,6 +214,11 @@ class PgmReceiver:
         nak = PgmDatagram(group=self.group, sender=self.host.address,
                           kind="nak", seq=seq)
         self.naks_sent += 1
+        sim = getattr(self.host, "sim", None)
+        if sim is not None:
+            # ingress replication groups carry one flow per PGM seq, so
+            # the repair delay is attributable to that flow
+            sim.flows.repair_requested(self.host.now(), self.group, seq)
         self.host.send_packet(Packet(
             src=self.host.address, dst=sender_addr,
             protocol=f"pgm-nak.{self.group}", payload=nak,

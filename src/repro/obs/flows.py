@@ -1,0 +1,446 @@
+"""Per-packet causal flow tracking over the mediation pipeline.
+
+Every packet admitted at the ingress node becomes a **flow**, identified
+by the ``(vm, ingress sequence number)`` pair the
+:class:`~repro.net.packet.ReplicaEnvelope` already carries end-to-end.
+The pipeline components report stage transitions to the simulator-wide
+:class:`FlowTracker` (``sim.flows``), which opens and closes
+:class:`~repro.obs.spans.Span` objects per replica:
+
+``replicate``
+    ingress admission -> the replica VMM observes the packet (PGM
+    transit plus the dom0 device-model queue).
+``agree``
+    observation -> the median delivery time is committed (proposal
+    multicast plus the 3-replica agreement).
+``offset-wait``
+    commit -> the network interrupt is injected at a guest-execution
+    VM exit (the Δn virtual-time offset realised in real time).
+``service``
+    injection -> the replica's dom0 emits the response packet the
+    egress later released (guest compute, disk, output cost).
+``quorum-wait``
+    emission -> the egress node forwards the packet (waiting for the
+    release quorum, i.e. the median of the replicas' emission times).
+
+Because every boundary is measured on one replica -- the replica whose
+copy completed the egress quorum -- the five stage durations telescope
+to **exactly** the flow's end-to-end mediation delay (admission to
+release), which is the invariant the critical-path analyzer and the CI
+Perfetto validation both assert.
+
+Flow attribution through asynchronous guest work (an echo reply after a
+compute phase, a file chunk after a disk read) rides the guest's own
+event structures: :class:`~repro.machine.guest.GuestTimer` and the
+VMM's disk injections capture the flow active when they were created
+and restore it when they fire -- context propagation in the X-Trace
+style, with zero effect on scheduling.
+
+Everything here is observational: hooks never schedule events, never
+draw randomness, and are disabled (single predicate test per call) by
+default.
+"""
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.spans import SpanStore
+from repro.sim.monitor import MetricSet
+
+#: the critical-path stage taxonomy, in pipeline order
+STAGES = ("replicate", "agree", "offset-wait", "service", "quorum-wait")
+
+_FlowKey = Tuple[str, int]
+
+
+class Flow:
+    """One inbound packet's journey through the mediation pipeline."""
+
+    __slots__ = ("vm", "seq", "admitted", "replicas", "observed",
+                 "committed", "injected", "emits", "first_emit",
+                 "released", "release_replica", "released_out_seq",
+                 "copies", "releases", "outputs", "out_seqs",
+                 "annotations", "span_ids", "open_keys", "skipped")
+
+    def __init__(self, vm: str, seq: int, admitted: float, replicas: int):
+        self.vm = vm
+        self.seq = seq
+        self.admitted = admitted
+        self.replicas = replicas
+        self.observed: Dict[int, float] = {}
+        self.committed: Dict[int, float] = {}
+        self.injected: Dict[int, float] = {}
+        #: (replica, out_seq) -> emission time, tracked until release
+        self.emits: Dict[Tuple[int, int], float] = {}
+        #: replica -> (time, out_seq) of its first attributed output
+        self.first_emit: Dict[int, Tuple[float, int]] = {}
+        self.released: Optional[float] = None
+        self.release_replica: Optional[int] = None
+        self.released_out_seq: Optional[int] = None
+        self.copies = 0          # output copies arrived at egress
+        self.releases = 0        # egress forwards attributed to this flow
+        self.outputs = 0         # guest outputs attributed to this flow
+        self.out_seqs: List[int] = []
+        self.annotations: Dict[str, Any] = {}
+        #: (replica-or-None, span name) -> span id, for every span opened
+        self.span_ids: Dict[Tuple[Optional[int], str], Optional[int]] = {}
+        self.open_keys: set = set()
+        self.skipped: Dict[int, bool] = {}
+
+    @property
+    def key(self) -> _FlowKey:
+        return (self.vm, self.seq)
+
+    @property
+    def flow_id(self) -> str:
+        return f"{self.vm}/{self.seq}"
+
+    @property
+    def complete(self) -> bool:
+        """Released, with every critical-path boundary measured on the
+        quorum-completing replica."""
+        r = self.release_replica
+        return (self.released is not None and r is not None
+                and r in self.observed and r in self.committed
+                and r in self.injected
+                and (r, self.released_out_seq) in self.emits)
+
+    @property
+    def end_to_end(self) -> Optional[float]:
+        if self.released is None:
+            return None
+        return self.released - self.admitted
+
+    def stage_times(self) -> Optional[Dict[str, float]]:
+        """The critical-path stage durations, or ``None`` if the flow is
+        not complete.  Sums exactly to :attr:`end_to_end` (telescoping
+        differences of one replica's boundary timestamps)."""
+        if not self.complete:
+            return None
+        r = self.release_replica
+        emit = self.emits[(r, self.released_out_seq)]
+        return {
+            "replicate": self.observed[r] - self.admitted,
+            "agree": self.committed[r] - self.observed[r],
+            "offset-wait": self.injected[r] - self.committed[r],
+            "service": emit - self.injected[r],
+            "quorum-wait": self.released - emit,
+        }
+
+    def __repr__(self) -> str:
+        state = ("complete" if self.complete
+                 else "released" if self.released is not None else "open")
+        return f"<Flow {self.flow_id} {state}>"
+
+
+class FlowTracker:
+    """The simulator-wide flow registry (``sim.flows``).
+
+    Off by default: every hook starts with a single ``enabled`` test, so
+    the instrumented pipeline costs one predicate per event when span
+    tracking is not requested.  When enabled, hooks only append to
+    tracker/span state -- they never touch the event queue or any RNG,
+    so seeded runs are bit-identical with tracking on or off.
+
+    ``max_flows`` bounds retained flows: admitting a flow beyond the cap
+    evicts the oldest retained flow (and its spans), counted in
+    :attr:`dropped_flows` -- the same bounded-memory contract as
+    :class:`~repro.sim.monitor.Trace`.
+    """
+
+    def __init__(self, enabled: bool = False, max_flows: int = 65_536,
+                 max_spans: int = 524_288):
+        if max_flows <= 0:
+            raise ValueError(f"max_flows must be positive, got {max_flows}")
+        self.enabled = enabled
+        self.max_flows = max_flows
+        self.store = SpanStore(max_spans=max_spans)
+        self.flows: Dict[_FlowKey, Flow] = {}
+        self.dropped_flows = 0
+        self.completed_count = 0
+        self.released_count = 0
+        self.nak_repairs = 0
+        self._out_index: Dict[Tuple[str, int], _FlowKey] = {}
+
+    def enable(self, max_flows: Optional[int] = None,
+               max_spans: Optional[int] = None) -> "FlowTracker":
+        """Turn tracking on (optionally re-capping the stores)."""
+        if max_flows is not None:
+            if max_flows <= 0:
+                raise ValueError(
+                    f"max_flows must be positive, got {max_flows}")
+            self.max_flows = max_flows
+        if max_spans is not None:
+            self.store.max_spans = max_spans
+        self.enabled = True
+        return self
+
+    # ------------------------------------------------------------------
+    # span plumbing
+    # ------------------------------------------------------------------
+    def _open(self, flow: Flow, name: str, time: float,
+              replica: Optional[int], **annotations: Any) -> None:
+        parent = flow.span_ids.get((None, "flow"))
+        sid = self.store.start(name, time, flow_id=flow.flow_id,
+                               vm=flow.vm, replica=replica,
+                               parent_id=parent, **annotations)
+        flow.span_ids[(replica, name)] = sid
+        flow.open_keys.add((replica, name))
+
+    def _close(self, flow: Flow, name: str, time: float,
+               replica: Optional[int], **annotations: Any) -> bool:
+        key = (replica, name)
+        if key not in flow.open_keys:
+            return False
+        flow.open_keys.discard(key)
+        self.store.finish(flow.span_ids.get(key), time, **annotations)
+        return True
+
+    def _evict_oldest(self) -> None:
+        key = next(iter(self.flows))
+        flow = self.flows.pop(key)
+        for sid in flow.span_ids.values():
+            self.store.discard(sid)
+        for out_seq in flow.out_seqs:
+            self._out_index.pop((flow.vm, out_seq), None)
+        self.dropped_flows += 1
+
+    # ------------------------------------------------------------------
+    # pipeline hooks (call sites: ingress, pgm, coordination, vmm, egress)
+    # ------------------------------------------------------------------
+    def flow_admitted(self, time: float, vm: str, seq: int,
+                      replicas: int) -> None:
+        """Ingress stamped and replicated an inbound packet."""
+        if not self.enabled:
+            return
+        if len(self.flows) >= self.max_flows:
+            self._evict_oldest()
+        flow = Flow(vm, seq, time, replicas)
+        self.flows[flow.key] = flow
+        sid = self.store.start("flow", time, flow_id=flow.flow_id, vm=vm,
+                               replica=None, seq=seq)
+        flow.span_ids[(None, "flow")] = sid
+        flow.open_keys.add((None, "flow"))
+        for replica in range(replicas):
+            self._open(flow, "replicate", time, replica)
+
+    def repair_requested(self, time: float, group: str, seq: int) -> None:
+        """A PGM receiver NAKed a gap.  For ingress replication groups
+        (``ingress.<vm>``) the PGM sequence *is* the flow sequence, so
+        the repair is attributed to the flow it delayed."""
+        if not self.enabled:
+            return
+        self.nak_repairs += 1
+        if not group.startswith("ingress."):
+            return
+        flow = self.flows.get((group[len("ingress."):], seq))
+        if flow is None:
+            return
+        flow.annotations["naks"] = flow.annotations.get("naks", 0) + 1
+        self.store.annotate(flow.span_ids.get((None, "flow")),
+                            naks=flow.annotations["naks"])
+
+    def packet_observed(self, time: float, vm: str, seq: int, replica: int,
+                        proposal: Optional[float] = None) -> None:
+        """A replica's dom0 finished processing the inbound packet and
+        its VMM proposed a delivery time."""
+        if not self.enabled:
+            return
+        flow = self.flows.get((vm, seq))
+        if flow is None or replica in flow.observed:
+            return
+        flow.observed[replica] = time
+        self._close(flow, "replicate", time, replica)
+        self._open(flow, "agree", time, replica, proposal=proposal)
+
+    def decision_committed(self, time: float, vm: str, seq: int,
+                           replica: int, decision: float) -> None:
+        """The median delivery time for the packet was decided at a
+        replica (agreement, cached/unicast reply, or stale sweep)."""
+        if not self.enabled:
+            return
+        flow = self.flows.get((vm, seq))
+        if flow is None or replica in flow.committed:
+            return
+        flow.committed[replica] = time
+        if not self._close(flow, "agree", time, replica, decision=decision):
+            # decided before this replica ever observed the packet (it
+            # missed the datagram): there is no agree span to close
+            pass
+        self._open(flow, "offset-wait", time, replica, decision=decision)
+
+    def net_injected(self, time: float, vm: str, seq: int, replica: int,
+                     virt: float, skipped: bool = False) -> None:
+        """The interrupt was injected at a VM exit (or the slot was
+        skipped because this replica never saw the packet)."""
+        if not self.enabled:
+            return
+        flow = self.flows.get((vm, seq))
+        if flow is None or replica in flow.injected:
+            return
+        flow.injected[replica] = time
+        flow.skipped[replica] = skipped
+        self._close(flow, "offset-wait", time, replica, virt=virt,
+                    skipped=skipped)
+        if not skipped:
+            self._open(flow, "service", time, replica)
+
+    def output_emitted(self, time: float, vm: str, out_seq: int,
+                       replica: int, flow_seq: Optional[int]) -> None:
+        """A replica's dom0 emitted a guest output attributed (via guest
+        flow context) to inbound flow ``flow_seq``."""
+        if not self.enabled or flow_seq is None:
+            return
+        flow = self.flows.get((vm, flow_seq))
+        if flow is None:
+            return
+        flow.outputs += 1
+        if flow.released is not None:
+            return  # flow already complete; later chunks are just counted
+        out_key = (vm, out_seq)
+        if out_key not in self._out_index:
+            self._out_index[out_key] = flow.key
+            flow.out_seqs.append(out_seq)
+        flow.emits[(replica, out_seq)] = time
+        flow.first_emit.setdefault(replica, (time, out_seq))
+
+    def copy_arrived(self, time: float, vm: str, out_seq: int,
+                     replica: int) -> None:
+        """One replica's copy of an output reached the egress node."""
+        if not self.enabled:
+            return
+        key = self._out_index.get((vm, out_seq))
+        if key is None:
+            return
+        flow = self.flows.get(key)
+        if flow is not None:
+            flow.copies += 1
+
+    def output_released(self, time: float, vm: str, out_seq: int,
+                        replica: Optional[int]) -> None:
+        """The egress node forwarded an output.  ``replica`` is the one
+        whose arrival completed the release quorum (``None`` when a
+        degraded-mode retarget released it instead)."""
+        if not self.enabled:
+            return
+        key = self._out_index.get((vm, out_seq))
+        if key is None:
+            return
+        flow = self.flows.get(key)
+        if flow is None:
+            return
+        self.released_count += 1
+        flow.releases += 1
+        if flow.released is not None:
+            return  # the flow completed on an earlier output
+        flow.released = time
+        flow.release_replica = replica
+        flow.released_out_seq = out_seq
+        self._complete(flow, time, out_seq)
+
+    # ------------------------------------------------------------------
+    # completion: close service spans, build quorum-wait, mark critical
+    # ------------------------------------------------------------------
+    def _complete(self, flow: Flow, time: float, out_seq: int) -> None:
+        for replica, (first_t, first_out) in sorted(flow.first_emit.items()):
+            emit = flow.emits.get((replica, out_seq))
+            end = emit if emit is not None else first_t
+            self._close(flow, "service", end, replica,
+                        out_seq=out_seq if emit is not None else first_out)
+        self._close(flow, "flow", time, None, releases=1)
+        critical = flow.release_replica
+        if critical is not None and (critical, out_seq) in flow.emits:
+            emit = flow.emits[(critical, out_seq)]
+            sid = self.store.start("quorum-wait", emit,
+                                   flow_id=flow.flow_id, vm=flow.vm,
+                                   replica=critical, out_seq=out_seq,
+                                   parent_id=flow.span_ids.get(
+                                       (None, "flow")),
+                                   critical=True)
+            self.store.finish(sid, time)
+            flow.span_ids[(critical, "quorum-wait")] = sid
+            for stage in ("replicate", "agree", "offset-wait", "service"):
+                self.store.annotate(
+                    flow.span_ids.get((critical, stage)), critical=True)
+            self.store.annotate(flow.span_ids.get((None, "flow")),
+                                critical_replica=critical)
+        if flow.complete:
+            self.completed_count += 1
+
+    # ------------------------------------------------------------------
+    # flow-level annotations (coordination details, degradations)
+    # ------------------------------------------------------------------
+    def flow_annotate(self, vm: str, seq: int, **annotations: Any) -> None:
+        if not self.enabled:
+            return
+        flow = self.flows.get((vm, seq))
+        if flow is None:
+            return
+        flow.annotations.update(annotations)
+        self.store.annotate(flow.span_ids.get((None, "flow")),
+                            **annotations)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def completed_flows(self) -> List[Flow]:
+        """Flows with a full critical path, in admission order."""
+        return [flow for flow in self.flows.values() if flow.complete]
+
+    def incomplete_count(self) -> int:
+        return sum(1 for flow in self.flows.values() if not flow.complete)
+
+    def get_flow(self, flow_id: str) -> Optional[Flow]:
+        """Look a flow up by its ``vm/seq`` display id."""
+        vm, _, seq = flow_id.rpartition("/")
+        if not vm:
+            return None
+        try:
+            return self.flows.get((vm, int(seq)))
+        except ValueError:
+            return None
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (f"<FlowTracker {state} flows={len(self.flows)} "
+                f"complete={self.completed_count} "
+                f"dropped={self.dropped_flows}>")
+
+
+# ---------------------------------------------------------------------------
+# the critical-path analyzer
+# ---------------------------------------------------------------------------
+def critical_path(flow: Flow) -> List[Tuple[str, float, float]]:
+    """``(stage, start, end)`` segments of a completed flow's critical
+    path, in pipeline order.  Segments abut: each stage starts exactly
+    where the previous one ended, so their durations sum to the flow's
+    end-to-end mediation delay."""
+    stages = flow.stage_times()
+    if stages is None:
+        raise ValueError(f"flow {flow.flow_id} has no complete "
+                         f"critical path")
+    segments = []
+    cursor = flow.admitted
+    for stage in STAGES:
+        end = cursor + stages[stage]
+        segments.append((stage, cursor, end))
+        cursor = end
+    return segments
+
+
+def stage_metrics(tracker: FlowTracker,
+                  metrics: Optional[MetricSet] = None) -> MetricSet:
+    """Feed every completed flow's stage decomposition into a
+    :class:`~repro.sim.monitor.MetricSet` (seconds): one observation
+    stream per stage (``flow.stage.<name>``) plus ``flow.total``, so
+    ``snapshot()`` reports per-stage p50/p95/p99."""
+    metrics = metrics if metrics is not None else MetricSet()
+    for flow in tracker.completed_flows():
+        stages = flow.stage_times()
+        for stage in STAGES:
+            metrics.observe(f"flow.stage.{stage}", stages[stage])
+        metrics.observe("flow.total", flow.end_to_end)
+        metrics.add("flow.total.seconds", flow.end_to_end)
+        metrics.incr("flows.completed")
+    metrics.incr("flows.tracked", len(tracker.flows))
+    metrics.incr("flows.dropped", tracker.dropped_flows)
+    return metrics

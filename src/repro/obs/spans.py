@@ -1,0 +1,144 @@
+"""Causal spans: the generic store under the flow layer.
+
+A :class:`Span` is one named, sim-time-stamped interval (``start`` ..
+``end``) with a parent link and an annotation dict -- the Dapper model
+(PAPERS.md: Sigelman et al.) cut down to what a deterministic simulator
+needs.  Spans carry a ``flow_id`` so every interval belonging to one
+packet's journey through the mediation pipeline can be pulled back out
+together, a ``replica`` (``None`` for fabric-side spans: ingress,
+egress, the flow root) and a ``vm``.
+
+:class:`SpanStore` is the bounded container.  Spans are pure
+observations: starting, finishing or discarding one never schedules an
+event, never draws randomness and never mutates simulation state, which
+is what lets span tracking stay bit-for-bit deterministic (asserted by
+``tests/obs/test_flow_determinism.py``).  When the store is full, new
+spans are dropped and tallied in :attr:`SpanStore.dropped`, mirroring
+the :class:`~repro.sim.monitor.Trace` ring-buffer discipline.
+"""
+
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed interval in a flow.  ``end`` is ``None`` while open."""
+
+    __slots__ = ("span_id", "parent_id", "name", "flow_id", "vm",
+                 "replica", "start", "end", "annotations")
+
+    def __init__(self, span_id: int, name: str, start: float,
+                 flow_id: Optional[str] = None, vm: Optional[str] = None,
+                 replica: Optional[int] = None,
+                 parent_id: Optional[int] = None,
+                 annotations: Optional[Dict[str, Any]] = None):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.flow_id = flow_id
+        self.vm = vm
+        self.replica = replica
+        self.start = start
+        self.end: Optional[float] = None
+        self.annotations: Dict[str, Any] = annotations or {}
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def __repr__(self) -> str:
+        state = (f"dur={self.duration:.6f}" if self.closed else "open")
+        return (f"<Span #{self.span_id} {self.name} flow={self.flow_id} "
+                f"r={self.replica} {state}>")
+
+
+class SpanStore:
+    """A bounded, insertion-ordered collection of spans.
+
+    ``max_spans`` caps retained spans; a :meth:`start` on a full store
+    returns ``None`` (a sentinel id every other method tolerates) and
+    counts the drop, so long runs keep bounded memory without branching
+    at the call sites.
+    """
+
+    def __init__(self, max_spans: int = 262_144):
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {max_spans}")
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._spans: Dict[int, Span] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, name: str, time: float, flow_id: Optional[str] = None,
+              vm: Optional[str] = None, replica: Optional[int] = None,
+              parent_id: Optional[int] = None,
+              **annotations: Any) -> Optional[int]:
+        """Open a span; returns its id, or ``None`` if the store is full."""
+        if len(self._spans) >= self.max_spans:
+            self.dropped += 1
+            return None
+        span_id = self._next_id
+        self._next_id += 1
+        self._spans[span_id] = Span(span_id, name, time, flow_id=flow_id,
+                                    vm=vm, replica=replica,
+                                    parent_id=parent_id,
+                                    annotations=dict(annotations))
+        return span_id
+
+    def finish(self, span_id: Optional[int], time: float,
+               **annotations: Any) -> None:
+        """Close an open span (no-op for ``None`` / unknown / closed ids)."""
+        span = self._spans.get(span_id) if span_id is not None else None
+        if span is None or span.closed:
+            return
+        span.end = time
+        if annotations:
+            span.annotations.update(annotations)
+
+    def annotate(self, span_id: Optional[int], **annotations: Any) -> None:
+        span = self._spans.get(span_id) if span_id is not None else None
+        if span is not None:
+            span.annotations.update(annotations)
+
+    def discard(self, span_id: Optional[int]) -> None:
+        """Forget a span entirely (flow eviction path)."""
+        if span_id is not None:
+            self._spans.pop(span_id, None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, span_id: Optional[int]) -> Optional[Span]:
+        return self._spans.get(span_id) if span_id is not None else None
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans.values())
+
+    def closed_spans(self) -> Iterator[Span]:
+        return (span for span in self._spans.values() if span.closed)
+
+    def open_count(self) -> int:
+        return sum(1 for span in self._spans.values() if not span.closed)
+
+    def by_flow(self, flow_id: str) -> List[Span]:
+        return [span for span in self._spans.values()
+                if span.flow_id == flow_id]
+
+    def name_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for span in self._spans.values():
+            counts[span.name] = counts.get(span.name, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (f"<SpanStore spans={len(self._spans)} "
+                f"open={self.open_count()} dropped={self.dropped}>")

@@ -77,6 +77,7 @@ class Simulator:
     def __init__(self, seed: int = 0, trace=None, profile: bool = False):
         from repro.sim.rng import RngRegistry
         from repro.sim.monitor import MetricSet, Trace
+        from repro.obs.flows import FlowTracker
 
         self.now: float = 0.0
         self._heap: list = []
@@ -89,6 +90,9 @@ class Simulator:
         #: simulation-wide counters/observations (fault and recovery
         #: bookkeeping records here even when tracing is disabled)
         self.metrics = MetricSet()
+        #: causal flow/span tracking (repro.obs); off by default -- every
+        #: pipeline hook is a single predicate test until enabled
+        self.flows = FlowTracker(enabled=False)
         self.event_count: int = 0
         self.cancelled_count: int = 0
         self.heap_high_water: int = 0

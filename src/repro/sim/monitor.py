@@ -228,8 +228,10 @@ class Trace:
             {"time": 1.25, "seq": 7, "category": "vmm.emit",
              "payload": {"vm": "echo", "replica": 0}}
         """
+        from repro.ioutil import atomic_writer
+
         written = 0
-        with open(path, "w", encoding="utf-8") as handle:
+        with atomic_writer(path) as handle:
             for rec in self.iter_records(category, **filters):
                 handle.write(_record_to_json(rec))
                 handle.write("\n")
@@ -237,11 +239,32 @@ class Trace:
         return written
 
 
+def _sanitize(value, _depth: int = 0):
+    """Force a payload value into JSON-encodable shape: containers are
+    rebuilt with string keys, anything non-primitive becomes ``str``.
+    The depth cap breaks cycles (json.dumps would raise ValueError)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if _depth < 8:
+        if isinstance(value, dict):
+            return {str(k): _sanitize(v, _depth + 1)
+                    for k, v in value.items()}
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return [_sanitize(v, _depth + 1) for v in value]
+    return str(value)
+
+
 def _record_to_json(record: TraceRecord) -> str:
-    return json.dumps(
-        {"time": record.time, "seq": record.seq,
-         "category": record.category, "payload": record.payload},
-        default=repr, separators=(",", ":"))
+    doc = {"time": record.time, "seq": record.seq,
+           "category": record.category, "payload": record.payload}
+    try:
+        return json.dumps(doc, default=str, separators=(",", ":"))
+    except (TypeError, ValueError):
+        # non-string dict keys or a reference cycle: ``default`` never
+        # fires for those, so rebuild the payload instead of crashing
+        # mid-export
+        doc["payload"] = _sanitize(record.payload)
+        return json.dumps(doc, default=str, separators=(",", ":"))
 
 
 class JsonlSink:
@@ -254,27 +277,32 @@ class JsonlSink:
         with JsonlSink("run.jsonl", trace) as sink:
             sim.run(until=10.0)
         print(sink.written)
+
+    Records stream into a temp file that only replaces ``path`` on
+    :meth:`close` -- a run that dies mid-stream never leaves a
+    truncated file at the destination.
     """
 
     def __init__(self, path: str, trace: Optional[Trace] = None):
+        from repro.ioutil import AtomicWriter
+
         self.path = path
         self.written = 0
-        self._handle = open(path, "w", encoding="utf-8")
+        self._writer = AtomicWriter(path)
         self._trace = trace
         if trace is not None:
             trace.subscribe(self)
 
     def __call__(self, record: TraceRecord) -> None:
-        self._handle.write(_record_to_json(record))
-        self._handle.write("\n")
+        self._writer.write(_record_to_json(record))
+        self._writer.write("\n")
         self.written += 1
 
     def close(self) -> None:
         if self._trace is not None:
             self._trace.unsubscribe(self)
             self._trace = None
-        if not self._handle.closed:
-            self._handle.close()
+        self._writer.commit()
 
     def __enter__(self) -> "JsonlSink":
         return self

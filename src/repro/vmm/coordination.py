@@ -160,12 +160,17 @@ class ReplicaCoordination:
         self._agreement_born.pop(seq, None)
         decision = agreement.decision(self.vmm.config.aggregation)
         self._remember_decision(seq, decision)
-        if len(agreement.proposals) < self.expected:
+        degraded = len(agreement.proposals) < self.expected
+        if degraded:
             self.sim.trace.record(self.sim.now, "fault.degraded_agreement",
                                   vm=self.vm_name, replica=self.replica_id,
                                   seq=seq,
                                   proposals=len(agreement.proposals))
             self.sim.metrics.incr("fault.degraded_agreements")
+        self.sim.flows.flow_annotate(self.vm_name, seq,
+                                     proposals=len(agreement.proposals),
+                                     spread=agreement.spread(),
+                                     degraded=degraded)
         self.vmm.commit_network_delivery(seq, decision, packet)
 
     def _remember_decision(self, seq: int, decision: float) -> None:
@@ -197,6 +202,7 @@ class ReplicaCoordination:
                               vm=self.vm_name, replica=self.replica_id,
                               seq=seq, had_packet=buffered is not None,
                               had_agreement=agreement is not None)
+        self.sim.flows.flow_annotate(self.vm_name, seq, source="decided")
         self.vmm.commit_network_delivery(seq, decision, buffered)
 
     # ------------------------------------------------------------------
@@ -398,6 +404,7 @@ class ReplicaCoordination:
             decision = self.vmm.last_exit_virt \
                 + self.vmm.config.delta_net
             self._remember_decision(seq, decision)
+            self.sim.flows.flow_annotate(self.vm_name, seq, swept=True)
             self.vmm.commit_network_delivery(seq, decision, packet)
         if self._agreements:
             self._schedule_agreement_sweep()

@@ -42,14 +42,17 @@ class _NetInjection:
 
 
 class _DiskInjection:
-    __slots__ = ("request_id", "delivery_virt", "callback", "args", "ready")
+    __slots__ = ("request_id", "delivery_virt", "callback", "args", "ready",
+                 "flow")
 
-    def __init__(self, request_id, delivery_virt, callback, args):
+    def __init__(self, request_id, delivery_virt, callback, args,
+                 flow=None):
         self.request_id = request_id
         self.delivery_virt = delivery_virt
         self.callback = callback
         self.args = args
         self.ready = False
+        self.flow = flow
 
 
 class ReplicaVMM:
@@ -176,11 +179,15 @@ class ReplicaVMM:
         if self.on_output is not None:
             self.on_output(seq, self.instr, packet)
         self.host.dom0.submit(self.config.dom0_output_cost,
-                              self._emit_output, seq, packet)
+                              self._emit_output, seq, packet,
+                              self.guest.current_flow())
 
-    def _emit_output(self, seq: int, packet: Packet) -> None:
+    def _emit_output(self, seq: int, packet: Packet,
+                     flow: Optional[int] = None) -> None:
         self.sim.trace.record(self.sim.now, "vmm.emit", vm=self.vm_name,
                               replica=self.replica_id, seq=seq)
+        self.sim.flows.output_emitted(self.sim.now, self.vm_name, seq,
+                                      self.replica_id, flow)
         if self.config.egress_enabled:
             envelope = ReplicaEnvelope(vm=self.vm_name, direction="out",
                                        seq=seq, inner=packet,
@@ -200,7 +207,8 @@ class ReplicaVMM:
         delivery_virt = (request_virt + self.config.delta_disk
                          if self.config.mediate else None)
         request_id = len(self._pending_disk) + self.stats["disk_interrupts"]
-        injection = _DiskInjection(request_id, delivery_virt, fn, args)
+        injection = _DiskInjection(request_id, delivery_virt, fn, args,
+                                   flow=self.guest.current_flow())
         self.sim.trace.record(self.sim.now, "vmm.disk.request",
                               vm=self.vm_name, replica=self.replica_id,
                               req=request_id, write=write)
@@ -246,6 +254,8 @@ class ReplicaVMM:
         self.sim.trace.record(self.sim.now, "vmm.propose", vm=self.vm_name,
                               replica=self.replica_id, seq=seq,
                               proposal=proposal)
+        self.sim.flows.packet_observed(self.sim.now, self.vm_name, seq,
+                                       self.replica_id, proposal=proposal)
         self.coordination.local_proposal(seq, packet, proposal)
 
     def commit_network_delivery(self, seq: int, median_virt: float,
@@ -259,6 +269,8 @@ class ReplicaVMM:
         """
         if seq < self._next_net_delivery_seq:
             return  # late decision for a slot already delivered/skipped
+        self.sim.flows.decision_committed(self.sim.now, self.vm_name, seq,
+                                          self.replica_id, median_virt)
         delivery = max(median_virt, self._net_commit_floor)
         self._net_commit_floor = delivery
         if median_virt < self.last_exit_virt:
@@ -363,7 +375,13 @@ class ReplicaVMM:
                                   req=head.request_id, virt=virt)
             if self.on_disk_delivery is not None:
                 self.on_disk_delivery(head.request_id, self.instr)
-            head.callback(*head.args)
+            # the completion runs under the flow that issued the request,
+            # so outputs it triggers stay attributed to that flow
+            self.guest.set_flow(head.flow)
+            try:
+                head.callback(*head.args)
+            finally:
+                self.guest.set_flow(None)
 
         while True:
             injection = self._pending_net.get(self._next_net_delivery_seq)
@@ -380,15 +398,29 @@ class ReplicaVMM:
                                       vm=self.vm_name,
                                       replica=self.replica_id,
                                       seq=injection.seq, virt=virt)
+                self.sim.flows.net_injected(self.sim.now, self.vm_name,
+                                            injection.seq, self.replica_id,
+                                            virt, skipped=True)
                 continue
             self.stats["net_interrupts"] += 1
             self.sim.trace.record(self.sim.now, "vmm.deliver.net",
                                   vm=self.vm_name, replica=self.replica_id,
                                   seq=injection.seq, virt=virt)
+            self.sim.flows.net_injected(self.sim.now, self.vm_name,
+                                        injection.seq, self.replica_id,
+                                        virt)
             if self.on_net_delivery is not None:
                 self.on_net_delivery(injection.seq, self.instr,
                                      injection.packet)
-            self.guest.deliver_packet(injection.packet)
+            # the guest handler (and anything it schedules) runs in this
+            # flow's context; mediated injections carry the ingress seq
+            flow = injection.seq if self.config.mediate \
+                and self.coordination is not None else None
+            self.guest.set_flow(flow)
+            try:
+                self.guest.deliver_packet(injection.packet)
+            finally:
+                self.guest.set_flow(None)
 
     # ------------------------------------------------------------------
     # replay-based recovery

@@ -31,6 +31,7 @@ MINIMAL_KWARGS = {
                          "pings": 20},
     "epoch_resync_ablation": {"epoch_lengths": (None,),
                               "duration": 1.0},
+    "flow_stage_latency": {"duration": 0.5},
 }
 
 

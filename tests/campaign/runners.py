@@ -23,6 +23,18 @@ def unseeded(scale: float = 2.0) -> list:
     return [("scale", scale)]
 
 
+def metric_rows(seed: int = 0) -> dict:
+    """A runner returning rows plus a MetricSet snapshot -- the
+    ``flow_stage_latency`` shape the executor lifts into the manifest."""
+    from repro.sim.monitor import MetricSet
+
+    metrics = MetricSet()
+    for value in (1.0, 2.0, 3.0):
+        metrics.observe("m", value + seed * 0.001)
+    return {"rows": [["m", 3, 2.0 + seed * 0.001]],
+            "metrics": metrics.snapshot()}
+
+
 def boom(seed: int = 0) -> list:
     raise RuntimeError(f"boom (seed={seed})")
 

@@ -1,0 +1,92 @@
+"""Cross-seed rollup of per-cell metric snapshots.
+
+Runners that return ``{"rows": ..., "metrics": MetricSet.snapshot()}``
+get their per-metric percentile stats persisted by the executor and
+averaged across the seed sweep by :meth:`ResultStore.metric_rollup`.
+"""
+
+from repro.campaign import CellResult, ResultStore, TaskCell
+from repro.campaign.executor import execute_cell
+
+
+def _snapshot(scale):
+    return {
+        "counters": {"flows.completed": 10},
+        "sums": {},
+        "observations": {
+            "flow.stage.agree": {"count": 10, "min": 0.0, "max": scale,
+                                 "mean": scale, "p50": scale,
+                                 "p95": 2 * scale, "p99": 3 * scale},
+            "flow.total": {"count": 10, "min": 0.0, "max": 5 * scale,
+                           "mean": 4 * scale, "p50": 4 * scale,
+                           "p95": 5 * scale, "p99": 5 * scale},
+        },
+    }
+
+
+def _result(seed, scale, runner="flows", params=None):
+    value = {"rows": [["agree", 10, scale]], "metrics": _snapshot(scale)}
+    return CellResult(cell=TaskCell(runner, params or {}, seed),
+                      status="ok", value=value,
+                      metrics=value["metrics"])
+
+
+class TestMetricRollup:
+    def test_stats_average_across_seeds(self):
+        store = ResultStore([_result(0, 1.0), _result(1, 3.0)])
+        rows = store.metric_rollup()
+        by_metric = {row[2]: row for row in rows}
+        runner, cell, _, seeds, count, mean, p50, p95, p99 = \
+            by_metric["flow.stage.agree"]
+        assert (runner, seeds, count) == ("flows", 2, 10)
+        assert (mean, p50, p95, p99) == (2.0, 2.0, 4.0, 6.0)
+        assert "flow.total" in by_metric
+
+    def test_metric_names_union_across_seeds(self):
+        partial = _result(1, 2.0)
+        del partial.metrics["observations"]["flow.total"]
+        store = ResultStore([_result(0, 2.0), partial])
+        by_metric = {row[2]: row for row in store.metric_rollup()}
+        assert by_metric["flow.stage.agree"][3] == 2   # both seeds
+        assert by_metric["flow.total"][3] == 1         # one seed only
+
+    def test_cells_group_by_params(self):
+        store = ResultStore([
+            _result(0, 1.0, params={"duration": 0.5}),
+            _result(0, 9.0, params={"duration": 2.0})])
+        cells = {row[1] for row in store.metric_rollup()}
+        assert cells == {"duration=0.5", "duration=2.0"}
+
+    def test_metricless_and_failed_results_are_skipped(self):
+        plain = CellResult(cell=TaskCell("r", {}, 0), status="ok",
+                           value=[("a", 1.0)])
+        failed = CellResult(cell=TaskCell("r", {}, 1), status="error",
+                            value=None, error="boom",
+                            metrics=_snapshot(1.0))
+        store = ResultStore([plain, failed])
+        assert store.metric_rollup() == []
+        assert "flow.stage.agree" not in store.render_metric_rollup()
+
+    def test_rollup_renders_into_saved_aggregate(self, tmp_path):
+        store = ResultStore([_result(0, 1.0), _result(1, 3.0)])
+        path = str(tmp_path / "aggregate.txt")
+        store.save_aggregate(path)
+        text = open(path, encoding="utf-8").read()
+        assert "Metric rollup" in text
+        assert "flow.stage.agree" in text
+
+
+class TestExecutorMetricsLifting:
+    def test_dict_metrics_are_lifted_from_the_value(self):
+        outcome = execute_cell(
+            {"runner": "tests.campaign.runners:metric_rows",
+             "params": {}, "seed": 0, "timeout": None})
+        assert outcome["status"] == "ok"
+        assert outcome["metrics"]["observations"]["m"]["p50"] == 2.0
+
+    def test_row_list_results_carry_no_metrics(self):
+        outcome = execute_cell(
+            {"runner": "tests.campaign.runners:add_rows",
+             "params": {}, "seed": 0, "timeout": None})
+        assert outcome["status"] == "ok"
+        assert outcome["metrics"] is None

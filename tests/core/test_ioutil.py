@@ -1,0 +1,59 @@
+"""Crash-safety contract of the shared atomic write helpers."""
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import (AtomicWriter, atomic_write_json,
+                          atomic_write_text, atomic_writer)
+
+
+class TestAtomicWriter:
+    def test_destination_appears_only_on_commit(self, tmp_path):
+        path = os.path.join(tmp_path, "out.txt")
+        writer = AtomicWriter(path)
+        writer.write("hello")
+        assert not os.path.exists(path)
+        assert writer.commit() == path
+        assert open(path, encoding="utf-8").read() == "hello"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_commit_is_idempotent(self, tmp_path):
+        writer = AtomicWriter(os.path.join(tmp_path, "out.txt"))
+        writer.write("x")
+        writer.commit()
+        writer.commit()
+        assert writer.closed
+
+    def test_discard_leaves_prior_content(self, tmp_path):
+        path = os.path.join(tmp_path, "out.txt")
+        atomic_write_text(path, "v1")
+        writer = AtomicWriter(path)
+        writer.write("v2 partial")
+        writer.discard()
+        assert open(path, encoding="utf-8").read() == "v1"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_creates_missing_directories(self, tmp_path):
+        path = os.path.join(tmp_path, "a", "b", "out.txt")
+        atomic_write_text(path, "deep")
+        assert open(path, encoding="utf-8").read() == "deep"
+
+
+class TestAtomicWriterContext:
+    def test_exception_discards_and_reraises(self, tmp_path):
+        path = os.path.join(tmp_path, "out.txt")
+        atomic_write_text(path, "old")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as handle:
+                handle.write("half-written")
+                raise RuntimeError("boom")
+        assert open(path, encoding="utf-8").read() == "old"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_clean_exit_commits(self, tmp_path):
+        path = os.path.join(tmp_path, "out.json")
+        atomic_write_json(path, {"rows": [(1, 2)]})
+        assert json.load(open(path, encoding="utf-8")) == {
+            "rows": [[1, 2]]}

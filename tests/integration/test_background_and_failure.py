@@ -81,7 +81,7 @@ class TestReplicaFailure:
         sim, cloud, vm, udp, replies = echo_cloud(DEFAULT)
         # drop replica 2's outputs by detaching its emit path
         vmm = vm.vmms[2]
-        vmm._emit_output = lambda seq, packet: None
+        vmm._emit_output = lambda seq, packet, flow=None: None
         sim.call_after(0.1, udp.send, "vm:echo", 9000, 7, 64, "ping")
         cloud.run(until=1.0)
         assert [tag for _, tag in replies] == ["ping"]

@@ -1,0 +1,16 @@
+"""Shared fixtures for the observability tests.
+
+The traced workload is deterministic per seed, so one run serves every
+read-only assertion in the module set -- session scope keeps the suite
+fast.
+"""
+
+import pytest
+
+from repro.analysis.flows import run_flow_workload
+
+
+@pytest.fixture(scope="session")
+def traced_sim():
+    """One seeded echo+compute run with flow tracking on."""
+    return run_flow_workload(duration=1.0, seed=5)
