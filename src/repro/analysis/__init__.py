@@ -22,6 +22,11 @@ from repro.analysis.experiments import (
     PARSEC_PAPER_VALUES,
     RUNNERS,
 )
+from repro.analysis.scale import (
+    build_scale_spec,
+    run_scale_cell,
+    scale_sweep,
+)
 
 __all__ = [
     "format_table",
@@ -40,4 +45,7 @@ __all__ = [
     "epoch_resync_ablation",
     "PARSEC_PAPER_VALUES",
     "RUNNERS",
+    "build_scale_spec",
+    "run_scale_cell",
+    "scale_sweep",
 ]

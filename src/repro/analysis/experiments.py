@@ -451,4 +451,11 @@ def _register_flow_runner() -> None:
     RUNNERS["flow_stage_latency"] = flow_stage_latency
 
 
+def _register_scale_runner() -> None:
+    from repro.analysis.scale import scale_sweep
+
+    RUNNERS["scale_sweep"] = scale_sweep
+
+
 _register_flow_runner()
+_register_scale_runner()

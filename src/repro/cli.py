@@ -17,6 +17,7 @@ Usage::
     python -m repro spans   [--perfetto out.json] [--validate]
     python -m repro flows   [--flow echo/3] [--top-k 10]
     python -m repro chaos   [--check-determinism] [--crash-at 0.9]
+    python -m repro scale   [--tenants 1,8,32] [--shards 2] [--spec s.toml]
     python -m repro campaign run examples/fig5_sweep.toml --jobs 0
     python -m repro campaign status examples/fig5_sweep.toml
     python -m repro campaign resume examples/fig5_sweep.toml
@@ -313,11 +314,79 @@ def cmd_chaos(args) -> None:
             raise SystemExit(1)
 
 
+def cmd_scale(args) -> None:
+    from repro.analysis import format_table
+    from repro.analysis.scale import (build_scale_spec, run_scale_cell,
+                                      scale_sweep)
+    from repro.cloud.scenario import ScenarioSpec
+
+    if args.spec:
+        spec = ScenarioSpec.from_file(args.spec)
+        if args.shards is not None:
+            spec.shards = args.shards
+        rows = [run_scale_cell(spec, duration=args.duration,
+                               seed=args.seed)]
+    else:
+        rows = scale_sweep(
+            tenant_counts=_ints(args.tenants), duration=args.duration,
+            seed=args.seed, shards=args.shards or 1,
+            workload=args.workload, clients_per_tenant=args.clients,
+            request_rate=args.rate, machines=args.machines)
+
+    print("Multi-tenant scale sweep (mediation = ingress admission -> "
+          "egress release)")
+    print(format_table(
+        ["tenants", "machines", "cap", "shards", "events/s",
+         "releases/s", "p50 ms", "p95 ms", "placed", "replicas agree"],
+        [(r["tenants"], r["machines"], r["capacity"], r["shards"],
+          int(r["events_per_second"]), round(r["releases_per_sim_second"], 1),
+          round(r["mediation_p50"] * 1000, 3),
+          round(r["mediation_p95"] * 1000, 3),
+          "yes" if r["placement_verified"] else "NO",
+          "yes" if r["outputs_consistent"] else "NO") for r in rows]))
+
+    failed = False
+    for row in rows:
+        if not row["placement_verified"]:
+            print(f"FAIL: {row['scenario']}: placement invariants violated")
+            failed = True
+        if not row["outputs_consistent"]:
+            print(f"FAIL: {row['scenario']}: replica output counts diverge")
+            failed = True
+
+    if not args.once:
+        # same-seed re-run: the egress release schedule must be
+        # byte-identical (the determinism claim, end to end)
+        for row in rows:
+            if args.spec:
+                spec = ScenarioSpec.from_file(args.spec)
+                if args.shards is not None:
+                    spec.shards = args.shards
+            else:
+                spec = build_scale_spec(
+                    row["tenants"], shards=args.shards or 1,
+                    workload=args.workload,
+                    clients_per_tenant=args.clients,
+                    request_rate=args.rate, machines=args.machines)
+            rerun = run_scale_cell(spec, duration=args.duration,
+                                   seed=args.seed)
+            if rerun["egress_signature"] != row["egress_signature"]:
+                print(f"FAIL: {row['scenario']}: seed {args.seed} egress "
+                      f"traces differ across runs")
+                failed = True
+            else:
+                print(f"Determinism: {row['scenario']}: PASS "
+                      f"(seed-{args.seed} egress signature "
+                      f"{row['egress_signature'][:16]}... reproduced)")
+    if failed:
+        raise SystemExit(1)
+
+
 def cmd_list(args) -> None:
     from repro.analysis.experiments import RUNNERS
     print("Available experiments: fig1 fig4 fig5 fig6 fig7 fig8 "
           "placement offsets covert collab trace metrics spans flows "
-          "chaos campaign")
+          "chaos scale campaign")
     print("Campaign runners: " + " ".join(sorted(RUNNERS)))
 
 
@@ -426,6 +495,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run twice with the same seed and compare "
                         "fault/recovery/release signatures")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("scale", help="multi-tenant fleet scaling: "
+                                     "throughput and mediation delay vs "
+                                     "tenant count, with placement and "
+                                     "determinism verification")
+    p.add_argument("--tenants", default="1,8,32",
+                   help="comma-separated tenant counts")
+    p.add_argument("--duration", type=float, default=3.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--shards", type=_positive_int, default=None,
+                   help="ingress/egress shard count (default 1)")
+    p.add_argument("--workload", default="echo",
+                   choices=["echo", "fileserver", "nfs"])
+    p.add_argument("--clients", type=_positive_int, default=1,
+                   help="client machines per tenant VM")
+    p.add_argument("--rate", type=float, default=40.0,
+                   help="per-client request rate (echo/nfs)")
+    p.add_argument("--machines", type=_positive_int, default=None,
+                   help="pin the fleet size (default: auto-size)")
+    p.add_argument("--spec", default=None, metavar="TOML",
+                   help="run a ScenarioSpec file instead of the "
+                        "homogeneous sweep")
+    p.add_argument("--once", action="store_true",
+                   help="skip the same-seed determinism re-run")
+    p.set_defaults(fn=cmd_scale)
 
     from repro.campaign.cli import add_campaign_parser
     add_campaign_parser(sub)

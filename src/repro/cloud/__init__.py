@@ -6,10 +6,38 @@ output release, Sec. VI), replica VMMs with their coordination groups,
 guest workloads, and external clients -- or, with
 ``config=PASSTHROUGH``-style settings, an unmodified-Xen baseline on
 the same substrate.
+
+:mod:`repro.cloud.scenario` scales this to *fleets*: a declarative
+:class:`ScenarioSpec` (loadable from TOML, like campaign specs)
+describes machines, tenants, workloads, client populations and WAN
+profiles; :class:`CloudBuilder` wires it all up through the placement
+scheduler.
 """
 
 from repro.cloud.ingress import IngressNode
 from repro.cloud.egress import EgressNode
-from repro.cloud.fabric import Cloud, ClientPort
+from repro.cloud.fabric import Cloud, ClientPort, shard_index
+from repro.cloud.scenario import (
+    BuiltScenario,
+    CloudBuilder,
+    ScenarioError,
+    ScenarioSpec,
+    TenantSpec,
+    WanProfile,
+    BUILTIN_WAN,
+)
 
-__all__ = ["IngressNode", "EgressNode", "Cloud", "ClientPort"]
+__all__ = [
+    "IngressNode",
+    "EgressNode",
+    "Cloud",
+    "ClientPort",
+    "shard_index",
+    "BuiltScenario",
+    "CloudBuilder",
+    "ScenarioError",
+    "ScenarioSpec",
+    "TenantSpec",
+    "WanProfile",
+    "BUILTIN_WAN",
+]

@@ -13,8 +13,24 @@ With ``config.mediate`` the fabric builds the full StopWatch pipeline
 (ingress replication, per-VM coordination groups, egress); without it,
 it wires the unmodified-Xen baseline: client traffic goes straight to
 the single replica's dom0, and guest output leaves directly.
+
+Placement (Sec. VIII): when ``hosts=`` is omitted on a mediated
+3-replica VM, the fabric asks a :class:`~repro.placement.scheduler.
+PlacementScheduler` for the VM's replica *triangle*, so any two VMs
+co-reside on at most one machine.  Pass ``placer=None`` to restore the
+legacy hosts ``0..r-1`` behaviour, or pass your own scheduler for
+strict operator-controlled placement (a full cluster then raises
+:class:`~repro.placement.scheduler.PlacementError` instead of falling
+back).  Explicit ``hosts=`` always bypasses the placer.
+
+Sharded edge: with ``shards=k`` the cloud runs ``k`` ingress and ``k``
+egress nodes; each VM is pinned to one shard by a stable hash of its
+name, so the edge is no longer a single serialization point at high
+tenant counts.  ``shards=1`` (the default) keeps the historical single
+``ingress``/``egress`` pair, byte-identical to previous releases.
 """
 
+import hashlib
 import random as _random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -26,6 +42,7 @@ from repro.machine.host import Host
 from repro.net.link import Link
 from repro.net.network import Network, RealtimeNode
 from repro.net.pgm import PgmReceiver
+from repro.placement.scheduler import PlacementError, PlacementScheduler
 from repro.sim.rng import _derive_seed
 from repro.vmm.coordination import ReplicaCoordination
 from repro.vmm.hypervisor import ReplicaVMM
@@ -39,6 +56,8 @@ class ReplicatedVM:
     hosts: List[int]
     vmms: List[ReplicaVMM]
     workloads: List[object] = field(default_factory=list)
+    #: edge shard this VM's traffic is pinned to
+    shard: int = 0
     #: kept so a crashed replica can be rebuilt by replay (repro.faults)
     workload_factory: Optional[Callable] = None
     workload_seed: Optional[int] = None
@@ -74,20 +93,34 @@ class ClientPort:
         return getattr(self.node, item)
 
 
+def shard_index(vm_name: str, shards: int) -> int:
+    """Stable shard id for a VM name (SHA-256, not the salted builtin
+    ``hash``), so shard routing is identical across runs and processes."""
+    if shards <= 1:
+        return 0
+    digest = hashlib.sha256(vm_name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
 class Cloud:
     """A StopWatch (or baseline) cloud on ``machines`` physical hosts."""
 
     def __init__(self, sim, machines: int = 3,
                  config: StopWatchConfig = DEFAULT,
                  internal_bandwidth: float = 1e9,
-                 host_kwargs: Optional[dict] = None):
+                 host_kwargs: Optional[dict] = None,
+                 shards: int = 1,
+                 placer="auto"):
         if machines < config.replicas:
             raise ValueError(
                 f"{config.replicas} replicas need at least that many "
                 f"machines, got {machines}"
             )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.sim = sim
         self.config = config
+        self.shards = shards
         self.network = Network(sim, default_link_kwargs={
             "latency": config.internal_latency,
             "jitter": config.internal_latency * config.internal_jitter,
@@ -97,13 +130,132 @@ class Cloud:
             Host(sim, i, self.network, **(host_kwargs or {}))
             for i in range(machines)
         ]
-        self.ingress = IngressNode(sim, self.network)
-        self.egress = EgressNode(sim, self.network,
-                                 stale_timeout=config.egress_stale_timeout)
+        # shards == 1 keeps the historical "ingress"/"egress" addresses
+        # (and hence their named RNG streams), so single-shard clouds
+        # stay byte-identical to previous releases.
+        ingress_addrs = (["ingress"] if shards == 1
+                         else [f"ingress.{i}" for i in range(shards)])
+        egress_addrs = (["egress"] if shards == 1
+                        else [f"egress.{i}" for i in range(shards)])
+        self.ingresses: List[IngressNode] = [
+            IngressNode(sim, self.network, address=addr)
+            for addr in ingress_addrs
+        ]
+        self.egresses: List[EgressNode] = [
+            EgressNode(sim, self.network, address=addr,
+                       stale_timeout=config.egress_stale_timeout)
+            for addr in egress_addrs
+        ]
         self.vms: Dict[str, ReplicatedVM] = {}
         self.clients: Dict[str, ClientPort] = {}
         self._down_replicas: Dict[str, set] = {}
         self._started = False
+        if placer == "auto":
+            self._placer_mode = "auto"
+            self._placer: Optional[PlacementScheduler] = None
+        elif placer is None:
+            self._placer_mode = "off"
+            self._placer = None
+        else:
+            self._placer_mode = "strict"
+            self._placer = placer
+            placer_machines = getattr(placer, "machines", machines)
+            if placer_machines != machines:
+                raise ValueError(
+                    f"placer covers {placer_machines} machines but the "
+                    f"fleet has {machines}")
+
+    # ------------------------------------------------------------------
+    # edge shards
+    # ------------------------------------------------------------------
+    @property
+    def ingress(self) -> IngressNode:
+        """The single ingress node (only meaningful with ``shards=1``)."""
+        if self.shards != 1:
+            raise RuntimeError(
+                f"edge is sharded {self.shards} ways; use "
+                f"ingress_for(vm_name) or .ingresses")
+        return self.ingresses[0]
+
+    @property
+    def egress(self) -> EgressNode:
+        """The single egress node (only meaningful with ``shards=1``)."""
+        if self.shards != 1:
+            raise RuntimeError(
+                f"edge is sharded {self.shards} ways; use "
+                f"egress_for(vm_name) or .egresses")
+        return self.egresses[0]
+
+    def shard_of(self, vm_name: str) -> int:
+        return shard_index(vm_name, self.shards)
+
+    def ingress_for(self, vm_name: str) -> IngressNode:
+        return self.ingresses[self.shard_of(vm_name)]
+
+    def egress_for(self, vm_name: str) -> EgressNode:
+        return self.egresses[self.shard_of(vm_name)]
+
+    @property
+    def packets_replicated(self) -> int:
+        """Total inbound packets replicated across all edge shards."""
+        return sum(node.packets_replicated for node in self.ingresses)
+
+    @property
+    def packets_released(self) -> int:
+        """Total outputs released across all edge shards."""
+        return sum(node.packets_released for node in self.egresses)
+
+    @property
+    def pending_releases(self) -> int:
+        return sum(node.pending_releases for node in self.egresses)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    @property
+    def placer(self) -> Optional[PlacementScheduler]:
+        """The scheduler that placed the no-``hosts=`` VMs (if any)."""
+        return self._placer
+
+    def _resolve_placer(self, replica_count: int):
+        if self._placer_mode == "off":
+            return None
+        if self._placer_mode == "strict":
+            if replica_count != 3:
+                raise ValueError(
+                    f"placement triangles need exactly 3 replicas, the "
+                    f"config has {replica_count}; pass hosts= explicitly")
+            return self._placer
+        # auto: placement triangles only exist for mediated 3-replica
+        # clouds on a 3+-machine fleet; everything else keeps the legacy
+        # hosts 0..r-1 (byte-identical to previous releases).
+        if (replica_count != 3 or not self.config.mediate
+                or len(self.hosts) < 3):
+            return None
+        if self._placer is None:
+            capacity = max(1, (len(self.hosts) - 1) // 2)
+            self._placer = PlacementScheduler(len(self.hosts), capacity)
+        return self._placer
+
+    def _place(self, name: str, replica_count: int) -> List[int]:
+        placer = self._resolve_placer(replica_count)
+        if placer is None:
+            return list(range(replica_count))
+        try:
+            triangle = placer.place(name)
+        except PlacementError:
+            if self._placer_mode == "strict":
+                raise
+            # auto mode degrades to the legacy single-tenant wiring so
+            # small ad-hoc clouds keep working past the triangle pool
+            hosts = list(range(replica_count))
+            self.sim.trace.record(self.sim.now, "placement.fallback",
+                                  vm=name, hosts=hosts)
+            return hosts
+        hosts = list(triangle)
+        self.sim.trace.record(self.sim.now, "placement.assign", vm=name,
+                              hosts=hosts, shard=self.shard_of(name))
+        return hosts
 
     # ------------------------------------------------------------------
     # guests
@@ -116,28 +268,41 @@ class Cloud:
         ``workload_factory(guest_os)`` is called once per replica and must
         return an object with a ``start()`` method; all replicas get RNGs
         seeded identically, so the workload runs identically everywhere.
+
+        With ``hosts=None`` the cloud's placer chooses the replica
+        machines (see the module docstring); an explicit ``hosts=``
+        sequence pins them and bypasses placement constraints.
         """
         if name in self.vms:
             raise ValueError(f"VM {name!r} already exists")
         replica_count = self.config.replicas
         if hosts is None:
-            hosts = list(range(replica_count))
+            hosts = self._place(name, replica_count)
         hosts = list(hosts)
         if len(hosts) != replica_count:
             raise ValueError(
                 f"need exactly {replica_count} host ids, got {hosts}"
             )
+        fleet = len(self.hosts)
+        for host_id in hosts:
+            if not isinstance(host_id, int) or not 0 <= host_id < fleet:
+                raise ValueError(
+                    f"VM {name!r}: host id {host_id!r} is outside the "
+                    f"{fleet}-machine fleet (valid ids: 0..{fleet - 1})")
 
         workload_seed = _derive_seed(self.sim.rng.root_seed,
                                      f"workload.{name}")
+        shard = self.shard_of(name)
+        egress_address = self.egresses[shard].address
         vmms: List[ReplicaVMM] = []
         for replica_id, host_id in enumerate(hosts):
             vmm = ReplicaVMM(
                 self.sim, self.hosts[host_id], name, replica_id,
-                self.config, workload_rng=_random.Random(workload_seed))
+                self.config, workload_rng=_random.Random(workload_seed),
+                egress_address=egress_address)
             vmms.append(vmm)
 
-        vm = ReplicatedVM(name=name, hosts=hosts, vmms=vmms,
+        vm = ReplicatedVM(name=name, hosts=hosts, vmms=vmms, shard=shard,
                           workload_factory=workload_factory,
                           workload_seed=workload_seed)
         self.vms[name] = vm
@@ -148,7 +313,7 @@ class Cloud:
             self._wire_baseline(vm)
 
         if self.config.egress_enabled:
-            self.egress.register_vm(name, replica_count)
+            self.egresses[shard].register_vm(name, replica_count)
 
         if workload_factory is not None:
             for vmm in vmms:
@@ -162,8 +327,9 @@ class Cloud:
         return vm
 
     def _wire_mediated(self, vm: ReplicatedVM) -> None:
+        ingress = self.ingresses[vm.shard]
         host_addresses = [self.hosts[h].address for h in vm.hosts]
-        self.ingress.register_vm(vm.name, host_addresses)
+        ingress.register_vm(vm.name, host_addresses)
         lead_boundaries = max(1, int(
             self.config.max_lead_virtual
             / (self.config.pacing_interval_branches
@@ -183,7 +349,7 @@ class Cloud:
                 lambda rid, name=vm.name: self._replica_rejoined(name, rid))
             receiver = PgmReceiver(host.node, f"ingress.{vm.name}")
             receiver.subscribe(
-                self.ingress.address,
+                ingress.address,
                 lambda envelope, seq, h=host, v=vmm:
                 h.dom0.submit(self.config.dom0_packet_cost,
                               v.observe_inbound, envelope.seq,
@@ -206,7 +372,7 @@ class Cloud:
             return
         down.add(replica_id)
         if self.config.egress_enabled:
-            self.egress.mark_replica_down(vm_name, replica_id)
+            self.egress_for(vm_name).mark_replica_down(vm_name, replica_id)
 
     def _replica_rejoined(self, vm_name: str, replica_id: int) -> None:
         down = self._down_replicas.get(vm_name)
@@ -214,7 +380,7 @@ class Cloud:
             return
         down.discard(replica_id)
         if self.config.egress_enabled:
-            self.egress.mark_replica_up(vm_name, replica_id)
+            self.egress_for(vm_name).mark_replica_up(vm_name, replica_id)
 
     def _ingress_loss(self, vmm: ReplicaVMM, pgm_seq: int) -> None:
         """NAK repair of an ingress datagram failed: this replica has
@@ -282,7 +448,7 @@ class Cloud:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Boot every replica VMM."""
+        """Boot every replica VMM (idempotent while started)."""
         if self._started:
             return
         self._started = True
@@ -291,9 +457,11 @@ class Cloud:
                 vmm.start()
 
     def stop(self) -> None:
+        """Halt every replica VMM; :meth:`start` boots them again."""
         for vm in self.vms.values():
             for vmm in vm.vmms:
                 vmm.stop()
+        self._started = False
 
     def run(self, until: float) -> None:
         """Convenience: start (if needed) and run the simulation."""

@@ -153,6 +153,33 @@ class FaultInjector:
         host = self._host_target(event)
         host.dom0.inject_stall(event.params.get("duration", 0.01))
 
+    # -- edge (ingress/egress shard) faults ----------------------------
+    def _edge_target(self, event: FaultEvent):
+        """Resolve ``"ingress:<vm>"``/``"egress:<vm>"`` to the edge node
+        serving that VM's shard."""
+        side, sep, vm_name = event.target.partition(":")
+        if not sep or side not in ("ingress", "egress"):
+            raise InjectionError(
+                f"{event.fault} target must be 'ingress:<vm>' or "
+                f"'egress:<vm>': {event.target!r}")
+        if vm_name not in self.cloud.vms:
+            raise InjectionError(f"unknown VM {vm_name!r}")
+        if side == "ingress":
+            return self.cloud.ingress_for(vm_name)
+        return self.cloud.egress_for(vm_name)
+
+    def _do_partition_edge(self, event: FaultEvent) -> None:
+        node = self._edge_target(event)
+        self.sim.trace.record(self.sim.now, "fault.partition_edge",
+                              address=node.address)
+        self.cloud.network.isolate(node.address)
+
+    def _do_heal_edge(self, event: FaultEvent) -> None:
+        node = self._edge_target(event)
+        self.sim.trace.record(self.sim.now, "recovery.heal_edge",
+                              address=node.address)
+        self.cloud.network.restore(node.address)
+
     def __repr__(self) -> str:
         return (f"<FaultInjector events={len(self.schedule)} "
                 f"applied={len(self.applied)}>")

@@ -26,7 +26,16 @@ kind               target                   effect
                                             multicasts swallowed (param
                                             ``purge`` defeats NAK repair)
 ``delay_dom0``      ``"host:<id>"``         dom0 stalled for ``duration`` s
+``partition_edge``  ``"ingress:<vm>"`` or   the edge shard serving that VM
+                    ``"egress:<vm>"``       partitioned off the network
+``heal_edge``       ``"ingress:<vm>"`` or   the shard's partition healed
+                    ``"egress:<vm>"``
 =================  =======================  =================================
+
+The edge faults resolve through the cloud's shard routing
+(``Cloud.ingress_for``/``egress_for``), so on a sharded edge they take
+down exactly the shard the named VM is pinned to -- co-sharded VMs are
+collateral, VMs on other shards are untouched.
 """
 
 import random
@@ -42,6 +51,8 @@ FAULT_KINDS = (
     "restore_link",
     "drop_proposals",
     "delay_dom0",
+    "partition_edge",
+    "heal_edge",
 )
 
 

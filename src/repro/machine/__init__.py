@@ -13,7 +13,7 @@
 
 from repro.machine.dom0 import Dom0Executor
 from repro.machine.disk import DiskModel
-from repro.machine.host import Host
+from repro.machine.host import Host, HostCapacityError
 from repro.machine.guest import GuestOS, GuestTimer
 from repro.machine.multiproc import (
     GuestThread,
@@ -31,6 +31,7 @@ __all__ = [
     "Dom0Executor",
     "DiskModel",
     "Host",
+    "HostCapacityError",
     "GuestOS",
     "GuestTimer",
     "GuestThread",

@@ -28,6 +28,7 @@ from repro.placement.bose import bose_groups, theorem2_placement
 from repro.placement.scheduler import (
     PlacementScheduler,
     PlacementError,
+    fleet_for,
     utilization_report,
     UtilizationReport,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "theorem2_placement",
     "PlacementScheduler",
     "PlacementError",
+    "fleet_for",
     "utilization_report",
     "UtilizationReport",
 ]

@@ -145,6 +145,30 @@ class PlacementScheduler:
                    for count in node_visit_counts(triangles).values())
 
 
+def fleet_for(vms: int, capacity: Optional[int] = None,
+              max_machines: int = 1023) -> Tuple[int, int]:
+    """Smallest fleet ``(machines, capacity)`` whose triangle pool holds
+    ``vms`` guest VMs.
+
+    Walks the ``n ≡ 3 (mod 6)`` sizes (where the Theorem 2 construction
+    is exact) and returns the first whose pool fits.  ``capacity`` caps
+    the per-machine guest slots; by default each machine offers its
+    structural maximum ``(n - 1) // 2``.
+    """
+    if vms < 1:
+        raise PlacementError(f"need at least one VM, got {vms}")
+    machines = 3
+    while machines <= max_machines:
+        slots = capacity if capacity is not None \
+            else max(1, (machines - 1) // 2)
+        scheduler = PlacementScheduler(machines, slots)
+        if scheduler.pool_size >= vms:
+            return machines, scheduler.capacity
+        machines += 6
+    raise PlacementError(
+        f"no fleet of <= {max_machines} machines holds {vms} VMs")
+
+
 class UtilizationReport(NamedTuple):
     """Sec. VIII comparison for one (n, c) point."""
 

@@ -32,6 +32,8 @@ MINIMAL_KWARGS = {
     "epoch_resync_ablation": {"epoch_lengths": (None,),
                               "duration": 1.0},
     "flow_stage_latency": {"duration": 0.5},
+    "scale_sweep": {"tenant_counts": (1,), "duration": 1.0,
+                    "request_rate": 30.0},
 }
 
 

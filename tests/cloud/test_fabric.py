@@ -139,6 +139,146 @@ class TestBaselinePipeline:
         assert len(harness.vm.vmms) == 1
 
 
+class TestHostValidation:
+    def test_out_of_range_host_rejected(self):
+        sim, cloud = make_cloud(DEFAULT)
+        with pytest.raises(ValueError, match="outside the 3-machine fleet"):
+            cloud.create_vm("a", EchoServer, hosts=[0, 1, 3])
+
+    def test_negative_host_rejected(self):
+        sim, cloud = make_cloud(DEFAULT)
+        with pytest.raises(ValueError, match="outside the 3-machine fleet"):
+            cloud.create_vm("a", EchoServer, hosts=[-1, 0, 1])
+
+    def test_non_integer_host_rejected(self):
+        sim, cloud = make_cloud(DEFAULT)
+        with pytest.raises(ValueError, match="host id"):
+            cloud.create_vm("a", EchoServer, hosts=[0, 1, "2"])
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self):
+        harness = _EchoHarness(DEFAULT)
+        harness.cloud.start()
+        harness.cloud.start()  # second call must be a no-op
+        harness.run()
+        assert sorted(tag for _, tag in harness.replies) == list(range(8))
+
+    def test_stop_resets_started(self):
+        sim, cloud = make_cloud(DEFAULT)
+        cloud.create_vm("echo", EchoServer)
+        cloud.start()
+        assert cloud._started
+        cloud.stop()
+        assert not cloud._started
+
+    def test_stop_start_roundtrip_resumes_service(self):
+        harness = _EchoHarness(DEFAULT, pings=20, interval=0.05)
+        harness.cloud.start()
+        harness.sim.run(until=0.3)
+        harness.cloud.stop()
+        harness.sim.run(until=0.5)
+        stopped_replies = len(harness.replies)
+        harness.cloud.start()  # must actually reboot after stop()
+        harness.sim.run(until=3.0)
+        assert all(vmm.running for vmm in harness.vm.vmms)
+        assert len(harness.replies) > stopped_replies
+
+
+class TestPlacement:
+    def test_auto_placer_matches_legacy_on_three_machines(self):
+        # greedy packing's first triangle is (0, 1, 2): the default
+        # single-tenant cloud keeps its historical host assignment
+        sim, cloud = make_cloud(DEFAULT)
+        vm = cloud.create_vm("echo", EchoServer)
+        assert vm.hosts == [0, 1, 2]
+
+    def test_auto_placer_assigns_disjoint_triangles(self):
+        sim, cloud = make_cloud(DEFAULT, machines=9)
+        for i in range(4):
+            cloud.create_vm(f"vm-{i}", EchoServer)
+        assert cloud.placer is not None
+        assert cloud.placer.verify()
+        triangles = [set(vm.hosts) for vm in cloud.vms.values()]
+        for i, a in enumerate(triangles):
+            for b in triangles[i + 1:]:
+                assert len(a & b) <= 1
+
+    def test_auto_placer_falls_back_when_pool_exhausted(self):
+        # 3 machines hold exactly one triangle; the second VM falls
+        # back to legacy hosts instead of failing
+        sim, cloud = make_cloud(DEFAULT)
+        cloud.create_vm("a", EchoServer)
+        vm = cloud.create_vm("b", EchoServer)
+        assert vm.hosts == [0, 1, 2]
+
+    def test_strict_placer_raises_when_full(self):
+        from repro.placement import PlacementError, PlacementScheduler
+        sim = Simulator(seed=42)
+        placer = PlacementScheduler(3, 1)
+        cloud = Cloud(sim, machines=3, config=DEFAULT, placer=placer)
+        cloud.create_vm("a", EchoServer)
+        with pytest.raises(PlacementError):
+            cloud.create_vm("b", EchoServer)
+
+    def test_strict_placer_fleet_mismatch_rejected(self):
+        from repro.placement import PlacementScheduler
+        sim = Simulator(seed=42)
+        with pytest.raises(ValueError, match="placer covers"):
+            Cloud(sim, machines=3, config=DEFAULT,
+                  placer=PlacementScheduler(9, 4))
+
+    def test_explicit_hosts_bypass_placer(self):
+        sim, cloud = make_cloud(DEFAULT, machines=6)
+        vm = cloud.create_vm("pinned", EchoServer, hosts=[3, 4, 5])
+        assert vm.hosts == [3, 4, 5]
+        assert cloud.placer is None or "pinned" not in \
+            cloud.placer.assignments
+
+
+class TestShardedEdge:
+    def test_single_shard_keeps_legacy_addresses(self):
+        sim, cloud = make_cloud(DEFAULT)
+        assert cloud.ingress.address == "ingress"
+        assert cloud.egress.address == "egress"
+
+    def test_sharded_accessors(self):
+        sim, cloud = make_cloud(DEFAULT, machines=9, shards=3)
+        assert len(cloud.ingresses) == 3
+        assert len(cloud.egresses) == 3
+        with pytest.raises(RuntimeError):
+            cloud.ingress
+        with pytest.raises(RuntimeError):
+            cloud.egress
+
+    def test_vm_pinned_to_stable_shard(self):
+        from repro.cloud import shard_index
+        sim, cloud = make_cloud(DEFAULT, machines=9, shards=3)
+        vm = cloud.create_vm("echo", EchoServer)
+        assert vm.shard == shard_index("echo", 3)
+        assert cloud.ingress_for("echo") is cloud.ingresses[vm.shard]
+        assert cloud.egress_for("echo") is cloud.egresses[vm.shard]
+
+    def test_sharded_pipeline_serves_traffic(self):
+        sim = Simulator(seed=42)
+        cloud = Cloud(sim, machines=9, config=DEFAULT, shards=2)
+        for i in range(4):
+            cloud.create_vm(f"echo-{i}", EchoServer)
+        client = cloud.add_client("client:1")
+        udp = UdpStack(client)
+        replies = []
+        udp.bind(9000, lambda d, s: replies.append(d.tag))
+        for i in range(4):
+            sim.call_after(0.05 + 0.01 * i, udp.send, f"vm:echo-{i}",
+                           9000, 7, 64, i)
+        cloud.run(until=1.5)
+        assert sorted(replies) == [0, 1, 2, 3]
+        # aggregate edge counters span the shards
+        assert cloud.packets_replicated == 4
+        assert cloud.packets_released == 4
+        assert sum(n.packets_replicated for n in cloud.ingresses) == 4
+
+
 class TestFiveReplicas:
     def test_five_replica_echo_works(self):
         config = DEFAULT.with_overrides(replicas=5)
