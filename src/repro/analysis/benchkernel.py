@@ -1,0 +1,165 @@
+"""Kernel throughput benchmark: the consolidated fleet cell as a
+tracked artifact.
+
+``run_kernel_bench`` runs the 32-tenant scale cell (the hot-loop
+workload: ~100k events per simulated second of VM quanta, replica
+multicast, pacing and egress mediation) several times in one process
+and reports
+
+- **events per CPU second** -- the primary throughput metric, measured
+  with ``time.process_time`` so a loaded benchmark host does not turn
+  scheduler noise into a regression;
+- events per wall second (the historical metric, kept for continuity
+  with older trajectory entries);
+- calendar-queue high-water marks (total entries, largest bucket sort,
+  far-heap peak) and mediation p95, and
+- the egress signature of every repeat: all repeats must be
+  byte-identical, which is simultaneously the determinism gate and the
+  regression fixture for the old process-global packet-uid counter
+  (warm repeats in one process used to diverge).
+
+``repro bench-kernel`` writes the report to ``BENCH_kernel.json``
+through the atomic writer and can fail (exit non-zero) when throughput
+drops more than :data:`REGRESSION_TOLERANCE` below a committed
+baseline file -- that is the ``kernel-bench`` CI job.
+"""
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.ioutil import atomic_write_json
+
+#: fail the regression gate when events/CPU-second drops below
+#: (1 - tolerance) x the committed baseline
+REGRESSION_TOLERANCE = 0.20
+
+#: default artifact path (repo root, committed)
+BENCH_PATH = "BENCH_kernel.json"
+
+
+class BenchError(RuntimeError):
+    """Determinism or regression failure in the kernel benchmark."""
+
+
+def run_kernel_bench(tenants: int = 32,
+                     duration: float = 2.0,
+                     seed: int = 1,
+                     request_rate: float = 30.0,
+                     repeats: int = 2) -> Dict[str, object]:
+    """Run the kernel benchmark cell ``repeats`` times; return the report.
+
+    Repeats run in one warm process on purpose: identical egress
+    signatures across them prove per-run determinism is independent of
+    process history.  Throughput is taken from the best repeat (the
+    least-interfered-with one); high-water marks are identical across
+    repeats by determinism.
+    """
+    from repro.analysis.scale import build_scale_spec, run_scale_cell
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    runs: List[Dict[str, object]] = []
+    for _ in range(repeats):
+        spec = build_scale_spec(tenants, request_rate=request_rate)
+        cpu_start = time.process_time()
+        row = run_scale_cell(spec, duration=duration, seed=seed)
+        cpu = time.process_time() - cpu_start
+        runs.append({
+            "events_fired": row["events_fired"],
+            "cpu_seconds": round(cpu, 4),
+            "wall_seconds": round(row["wall_seconds"], 4),
+            "events_per_cpu_second": round(row["events_fired"] / cpu, 1)
+            if cpu > 0 else 0.0,
+            "events_per_second": round(row["events_per_second"], 1),
+            "heap_high_water": row["heap_high_water"],
+            "bucket_high_water": row["bucket_high_water"],
+            "far_high_water": row["far_high_water"],
+            "mediation_p95": row["mediation_p95"],
+            "egress_signature": row["egress_signature"],
+        })
+
+    signatures = {run["egress_signature"] for run in runs}
+    if len(signatures) != 1:
+        raise BenchError(
+            f"egress signatures diverged across {repeats} same-seed "
+            f"repeats in one process: {sorted(signatures)}")
+
+    best = max(runs, key=lambda run: run["events_per_cpu_second"])
+    return {
+        "benchmark": f"kernel.scale{tenants}",
+        # repeats is a measurement parameter, not part of the workload:
+        # the regression gate compares configs, and a 3-repeat CI run
+        # must still gate against a 2-repeat committed baseline
+        "config": {"tenants": tenants, "duration": duration, "seed": seed,
+                   "request_rate": request_rate},
+        "repeats": repeats,
+        "events_per_cpu_second": best["events_per_cpu_second"],
+        "events_per_second": best["events_per_second"],
+        "events_fired": best["events_fired"],
+        "cpu_seconds": best["cpu_seconds"],
+        "heap_high_water": best["heap_high_water"],
+        "bucket_high_water": best["bucket_high_water"],
+        "far_high_water": best["far_high_water"],
+        "mediation_p95": best["mediation_p95"],
+        "egress_signature": best["egress_signature"],
+        "deterministic": True,
+        "runs": runs,
+    }
+
+
+def load_bench(path: str) -> Optional[Dict[str, object]]:
+    """The committed benchmark file at ``path``, or None if absent."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+
+
+def check_regression(result: Dict[str, object],
+                     baseline: Dict[str, object],
+                     tolerance: float = REGRESSION_TOLERANCE) -> None:
+    """Raise :class:`BenchError` when ``result`` regresses ``baseline``.
+
+    Compares events per CPU second; the committed baseline's config must
+    match or the comparison is meaningless (also an error).
+    """
+    if baseline.get("config") != result.get("config"):
+        raise BenchError(
+            f"baseline config {baseline.get('config')} does not match "
+            f"current config {result.get('config')}; re-baseline instead "
+            f"of comparing")
+    floor = baseline["events_per_cpu_second"] * (1.0 - tolerance)
+    current = result["events_per_cpu_second"]
+    if current < floor:
+        raise BenchError(
+            f"kernel throughput regressed: {current:.0f} events/CPU-s "
+            f"vs baseline {baseline['events_per_cpu_second']:.0f} "
+            f"(floor {floor:.0f}, tolerance {tolerance:.0%})")
+
+
+def write_bench(path: str, result: Dict[str, object],
+                label: str = "head",
+                previous: Optional[Dict[str, object]] = None) -> str:
+    """Atomically write ``result`` to ``path``, carrying the trajectory.
+
+    The trajectory is the list of prior summaries (label, throughput,
+    high-water marks); the previous file's own result is appended to it
+    so the committed artifact records how the kernel got here.
+    """
+    trajectory: List[Dict[str, object]] = []
+    if previous is not None:
+        trajectory = list(previous.get("trajectory", ()))
+        if "events_per_cpu_second" in previous:
+            trajectory.append({
+                "label": previous.get("label", "previous"),
+                "events_per_cpu_second": previous["events_per_cpu_second"],
+                "events_per_second": previous.get("events_per_second"),
+                "heap_high_water": previous.get("heap_high_water"),
+                "mediation_p95": previous.get("mediation_p95"),
+            })
+    report = dict(result)
+    report["label"] = label
+    report["trajectory"] = trajectory
+    return atomic_write_json(path, report, indent=2)

@@ -457,5 +457,12 @@ def _register_scale_runner() -> None:
     RUNNERS["scale_sweep"] = scale_sweep
 
 
+def _register_bench_runner() -> None:
+    from repro.analysis.benchkernel import run_kernel_bench
+
+    RUNNERS["kernel_bench"] = run_kernel_bench
+
+
 _register_flow_runner()
 _register_scale_runner()
+_register_bench_runner()

@@ -382,11 +382,53 @@ def cmd_scale(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_bench_kernel(args) -> None:
+    from repro.analysis.benchkernel import (BenchError, check_regression,
+                                            load_bench, run_kernel_bench,
+                                            write_bench)
+
+    result = run_kernel_bench(
+        tenants=args.tenants, duration=args.duration, seed=args.seed,
+        request_rate=args.rate, repeats=args.repeats)
+    print(f"{result['benchmark']}: "
+          f"{result['events_per_cpu_second']:.0f} events/CPU-s "
+          f"({result['events_per_second']:.0f} events/wall-s), "
+          f"{result['events_fired']} events in "
+          f"{result['cpu_seconds']:.2f}s CPU")
+    print(f"high-water: heap {result['heap_high_water']} "
+          f"bucket {result['bucket_high_water']} "
+          f"far {result['far_high_water']}; "
+          f"mediation p95 {result['mediation_p95'] * 1000:.3f} ms")
+    print(f"determinism: {args.repeats} warm repeats, egress signature "
+          f"{result['egress_signature'][:16]}... identical")
+
+    baseline_path = args.baseline or args.output
+    baseline = load_bench(baseline_path)
+    if args.check_regression:
+        if baseline is None:
+            print(f"no baseline at {baseline_path}; skipping "
+                  f"regression gate")
+        else:
+            try:
+                check_regression(result, baseline)
+            except BenchError as exc:
+                print(f"FAIL: {exc}")
+                raise SystemExit(1)
+            print(f"regression gate: PASS (baseline "
+                  f"{baseline['events_per_cpu_second']:.0f} events/CPU-s "
+                  f"from {baseline_path})")
+    if not args.no_write:
+        previous = load_bench(args.output)
+        path = write_bench(args.output, result, label=args.label,
+                           previous=previous)
+        print(f"wrote {path}")
+
+
 def cmd_list(args) -> None:
     from repro.analysis.experiments import RUNNERS
     print("Available experiments: fig1 fig4 fig5 fig6 fig7 fig8 "
           "placement offsets covert collab trace metrics spans flows "
-          "chaos scale campaign")
+          "chaos scale bench-kernel campaign")
     print("Campaign runners: " + " ".join(sorted(RUNNERS)))
 
 
@@ -520,6 +562,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--once", action="store_true",
                    help="skip the same-seed determinism re-run")
     p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser("bench-kernel", help="event-loop throughput on "
+                                            "the consolidated fleet "
+                                            "cell; writes "
+                                            "BENCH_kernel.json and "
+                                            "gates regressions")
+    p.add_argument("--tenants", type=_positive_int, default=32)
+    p.add_argument("--duration", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--rate", type=float, default=30.0,
+                   help="per-client request rate")
+    p.add_argument("--repeats", type=_positive_int, default=2,
+                   help="warm in-process repeats (signatures must match)")
+    p.add_argument("--output", default="BENCH_kernel.json",
+                   help="artifact path (atomic write)")
+    p.add_argument("--baseline", default=None, metavar="JSON",
+                   help="baseline for the regression gate (default: "
+                        "the existing --output file)")
+    p.add_argument("--check-regression", action="store_true",
+                   help="exit non-zero when events/CPU-s drops >20%% "
+                        "below the baseline")
+    p.add_argument("--label", default="head",
+                   help="trajectory label recorded in the artifact")
+    p.add_argument("--no-write", action="store_true",
+                   help="measure and gate only; leave the artifact "
+                        "untouched")
+    p.set_defaults(fn=cmd_bench_kernel)
 
     from repro.campaign.cli import add_campaign_parser
     add_campaign_parser(sub)

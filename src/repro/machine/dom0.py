@@ -35,7 +35,9 @@ class Dom0Executor:
         completion.  Returns the completion time."""
         if duration < 0:
             raise ValueError(f"negative duration: {duration}")
-        start = max(self.sim.now, self._busy_until)
+        now = self.sim.now
+        busy = self._busy_until
+        start = busy if busy > now else now
         finish = start + duration
         self._busy_until = finish
         self.busy_total += duration
@@ -67,11 +69,16 @@ class Dom0Executor:
         This is the contention signal guests on the same host experience.
         """
         horizon = self.sim.now - self.activity_window
-        while self._recent and self._recent[0][0] < horizon:
-            _, duration = self._recent.popleft()
-            self._recent_total -= duration
+        recent = self._recent
+        if recent and recent[0][0] < horizon:
+            total = self._recent_total
+            while recent and recent[0][0] < horizon:
+                total -= recent.popleft()[1]
+            self._recent_total = total
         level = self._recent_total / self.activity_window
-        return min(1.0, max(0.0, level))
+        if level >= 1.0:
+            return 1.0
+        return level if level > 0.0 else 0.0
 
     def __repr__(self) -> str:
         return (f"<Dom0Executor {self.name} jobs={self.jobs_done} "

@@ -59,6 +59,7 @@ class Host:
         self.capacity = capacity
         self.coresidency_beta = coresidency_beta
         self._noise_rng = sim.rng.stream(f"host.{host_id}.noise")
+        self._gauss = self._noise_rng.gauss   # bound-method cache (hot path)
         self.vmms = []
         self.peak_residents = 0
         self.alive = True
@@ -107,10 +108,12 @@ class Host:
         ``coresidency_beta`` is set) with the number of co-resident
         guests.  Sampled per execution quantum by the VMM.
         """
+        sigma = self.jitter_sigma
         jitter = 1.0
-        if self.jitter_sigma > 0.0:
-            jitter = max(0.5, 1.0 + self._noise_rng.gauss(0.0,
-                                                          self.jitter_sigma))
+        if sigma > 0.0:
+            jitter = 1.0 + self._gauss(0.0, sigma)
+            if jitter < 0.5:
+                jitter = 0.5
         contention = 1.0 + self.contention_alpha * self.dom0.activity_level()
         if self.coresidency_beta > 0.0:
             contention += self.coresidency_beta * max(0, self.residents - 1)

@@ -32,6 +32,7 @@ class Link:
         self.loss = loss
         self.name = name
         self._rng = sim.rng.stream(f"link.{name}")
+        self._random = self._rng.random   # bound-method cache (hot path)
         self._head_free_at = 0.0
         self.up = True
         self.sent_packets = 0
@@ -73,21 +74,25 @@ class Link:
             return
         self.sent_packets += 1
         self.sent_bytes += packet.size
-        now = self.sim.now
-        start = max(now, self._head_free_at)
+        sim = self.sim
+        now = sim.now
+        head = self._head_free_at
+        start = head if head > now else now
         tx_time = 0.0
         if self.bandwidth is not None:
             tx_time = packet.size * 8.0 / self.bandwidth
         self._head_free_at = start + tx_time
-        if self.loss > 0.0 and self._rng.random() < self.loss:
+        if self.loss > 0.0 and self._random() < self.loss:
             self.dropped_packets += 1
-            self.sim.trace.record(self.sim.now, "net.drop",
-                                  link=self.name, src=packet.src,
-                                  dst=packet.dst, reason="loss")
+            sim.trace.record(now, "net.drop",
+                             link=self.name, src=packet.src,
+                             dst=packet.dst, reason="loss")
             return
-        jitter = self._rng.uniform(0.0, self.jitter) if self.jitter else 0.0
+        # jitter * random() is bit-identical to rng.uniform(0, jitter)
+        # (uniform computes a + (b - a) * random()) minus a call layer
+        jitter = self.jitter * self._random() if self.jitter else 0.0
         arrival_delay = (start - now) + tx_time + self.latency + jitter
-        self.sim.call_after(arrival_delay, deliver, packet)
+        sim.call_at(now + arrival_delay, deliver, packet)
 
     @property
     def queue_delay(self) -> float:

@@ -24,9 +24,13 @@ class Network:
         self._handlers: Dict[str, Callable] = {}
         self._isolated: Dict[str, bool] = {}
         self._routes: Dict[Tuple[Optional[str], str], Link] = {}
+        self._route_cache: Dict[Tuple[str, str], Link] = {}
         self._default_kwargs = default_link_kwargs or {}
         self.delivered_packets = 0
         self.dropped_packets = 0
+        # per-network uid allocator: same-seed runs hand out identical
+        # uids no matter what this process simulated before
+        self._next_uid = 0
 
     # -- registration -----------------------------------------------------
     def attach(self, address: str, handler: Callable) -> None:
@@ -67,6 +71,7 @@ class Network:
     def add_route(self, src: Optional[str], dst: str, link: Link) -> None:
         """Use ``link`` for packets from ``src`` (None = any) to ``dst``."""
         self._routes[(src, dst)] = link
+        self._route_cache.clear()
 
     def link_for(self, src: str, dst: str) -> Link:
         """The link a (src, dst) packet takes; creates a default lazily."""
@@ -82,21 +87,29 @@ class Network:
     # -- transmission --------------------------------------------------------
     def send(self, packet) -> None:
         """Route ``packet`` toward its destination address."""
-        if packet.src in self._isolated:
+        if packet.uid is None:
+            packet.uid = self._next_uid
+            self._next_uid += 1
+        if self._isolated and packet.src in self._isolated:
             # partitions are bidirectional: an isolated machine's
             # stragglers (e.g. dom0 jobs queued pre-crash) go nowhere
             self._drop(packet, "isolated")
             return
-        if packet.dst not in self._handlers:
+        dst = packet.dst
+        if dst not in self._handlers:
             raise NetworkError(
-                f"no endpoint attached at {packet.dst!r} "
+                f"no endpoint attached at {dst!r} "
                 f"(packet from {packet.src!r})"
             )
-        link = self.link_for(packet.src, packet.dst)
+        key = (packet.src, dst)
+        link = self._route_cache.get(key)
+        if link is None:
+            link = self.link_for(packet.src, dst)
+            self._route_cache[key] = link
         link.transmit(packet, self._deliver)
 
     def _deliver(self, packet) -> None:
-        if packet.dst in self._isolated:
+        if self._isolated and packet.dst in self._isolated:
             self._drop(packet, "isolated")
             return
         handler = self._handlers.get(packet.dst)

@@ -6,11 +6,8 @@ content rides along as opaque ``tag`` objects so that determinism checks
 can compare exactly what a guest emitted.
 """
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
-
-_packet_ids = itertools.count()
 
 #: Ethernet+IP+TCP header overhead approximated for sizing, bytes.
 TCP_HEADER_BYTES = 54
@@ -19,32 +16,41 @@ UDP_HEADER_BYTES = 42
 DEFAULT_MSS = 1460
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One IP packet on the simulated wire."""
+    """One IP packet on the simulated wire.
+
+    ``uid`` is assigned by the :class:`~repro.net.network.Network` when
+    the packet first hits the wire, from a per-network counter -- never
+    from process-global state, so same-seed runs produce identical uids
+    no matter how many simulations this process ran before.  It is
+    ``None`` until then.
+    """
 
     src: str
     dst: str
     protocol: str           # "tcp" | "udp" | "pgm" | "replica" | ...
     payload: Any
     size: int               # total wire bytes
-    uid: int = field(default_factory=lambda: next(_packet_ids))
+    uid: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:
             raise ValueError(f"packet size must be positive, got {self.size}")
 
     def copy_to(self, dst: str) -> "Packet":
-        """A duplicate of this packet addressed to ``dst`` (new uid)."""
+        """A duplicate of this packet addressed to ``dst`` (uid assigned
+        on its own send)."""
         return Packet(src=self.src, dst=dst, protocol=self.protocol,
                       payload=self.payload, size=self.size)
 
     def __repr__(self) -> str:
-        return (f"<Packet#{self.uid} {self.src}->{self.dst} "
+        uid = "?" if self.uid is None else self.uid
+        return (f"<Packet#{uid} {self.src}->{self.dst} "
                 f"{self.protocol} {self.size}B>")
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSegment:
     """A TCP segment (sequence space counted in bytes)."""
 
@@ -77,7 +83,7 @@ class TcpSegment:
                 f"len={self.data_len}>")
 
 
-@dataclass
+@dataclass(slots=True)
 class UdpDatagram:
     """A UDP datagram."""
 
@@ -90,7 +96,7 @@ class UdpDatagram:
         return UDP_HEADER_BYTES + self.data_len
 
 
-@dataclass
+@dataclass(slots=True)
 class PgmDatagram:
     """A PGM (reliable multicast) datagram: ODATA, RDATA or NAK."""
 
@@ -105,7 +111,7 @@ class PgmDatagram:
         return UDP_HEADER_BYTES + 16 + self.data_len
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaEnvelope:
     """Wrapper used on the cloud-internal network.
 

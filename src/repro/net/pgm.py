@@ -42,6 +42,10 @@ class PgmSender:
         self.rdata_sent = 0
         self._drop_budget = 0
         self._drop_purges = False
+        # hot-path precomputation: the protocol tag and peer list are
+        # rebuilt tens of thousands of times per simulated second otherwise
+        self._protocol = f"pgm.{group}"
+        self._peers = [m for m in self.members if m != host.address]
         host.register_protocol(f"pgm-nak.{group}", self._on_nak)
 
     def drop_next(self, count: int, purge: bool = False) -> None:
@@ -62,30 +66,33 @@ class PgmSender:
         """Send ``data`` to every member; returns the sequence number."""
         seq = self._next_seq
         self._next_seq += 1
-        datagram = PgmDatagram(group=self.group, sender=self.host.address,
+        host = self.host
+        datagram = PgmDatagram(group=self.group, sender=host.address,
                                kind="odata", seq=seq, data=data,
                                data_len=data_len)
-        self._buffer[seq] = datagram
-        if len(self._buffer) > self.retain:
-            self._buffer.pop(min(self._buffer), None)
+        buffer = self._buffer
+        buffer[seq] = datagram
+        if len(buffer) > self.retain:
+            # seqs are inserted in increasing order and evicted from the
+            # front, so the first key is always the minimum
+            del buffer[next(iter(buffer))]
         if self._drop_budget > 0:
             self._drop_budget -= 1
             if self._drop_purges:
-                self._buffer.pop(seq, None)
-            self.host.sim.trace.record(
-                self.host.now(), "net.drop", src=self.host.address,
-                dst=self.group, protocol=f"pgm.{self.group}",
+                buffer.pop(seq, None)
+            host.sim.trace.record(
+                host.now(), "net.drop", src=host.address,
+                dst=self.group, protocol=self._protocol,
                 reason="injected")
             return seq
-        for member in self.members:
-            if member == self.host.address:
-                continue
-            self.odata_sent += 1
-            self.host.send_packet(Packet(
-                src=self.host.address, dst=member,
-                protocol=f"pgm.{self.group}", payload=datagram,
-                size=datagram.wire_size(),
-            ))
+        peers = self._peers
+        self.odata_sent += len(peers)
+        protocol = self._protocol
+        size = datagram.wire_size()
+        send = host.send_packet
+        src = host.address
+        for member in peers:
+            send(Packet(src, member, protocol, datagram, size))
         return seq
 
     def _on_nak(self, packet: Packet) -> None:
@@ -99,7 +106,7 @@ class PgmSender:
         self.rdata_sent += 1
         self.host.send_packet(Packet(
             src=self.host.address, dst=packet.src,
-            protocol=f"pgm.{self.group}", payload=repair,
+            protocol=self._protocol, payload=repair,
             size=repair.wire_size(),
         ))
 
@@ -118,11 +125,21 @@ class _SenderStream:
         self.nak_state: Dict[int, tuple] = {}  # seq -> (timer, count)
 
     def admit(self, datagram: PgmDatagram) -> None:
-        if datagram.seq < self.next_seq:
+        seq = datagram.seq
+        next_seq = self.next_seq
+        if seq == next_seq and not self.pending:
+            # in-order, no gap outstanding: the overwhelmingly common
+            # case -- deliver without touching the reassembly dicts
+            if self.nak_state:
+                self.cancel_nak(seq)
+            self.next_seq = next_seq + 1
+            self.on_data(datagram.data, seq)
+            return
+        if seq < next_seq:
             return  # duplicate
-        self.pending[datagram.seq] = datagram
-        self.cancel_nak(datagram.seq)
-        for missing in range(self.next_seq, datagram.seq):
+        self.pending[seq] = datagram
+        self.cancel_nak(seq)
+        for missing in range(next_seq, seq):
             if missing not in self.pending:
                 self.schedule_nak(missing)
         self.drain()

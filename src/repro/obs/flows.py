@@ -147,6 +147,10 @@ class FlowTracker:
     :class:`~repro.sim.monitor.Trace`.
     """
 
+    __slots__ = ("enabled", "max_flows", "store", "flows", "dropped_flows",
+                 "completed_count", "released_count", "nak_repairs",
+                 "_out_index")
+
     def __init__(self, enabled: bool = False, max_flows: int = 65_536,
                  max_spans: int = 524_288):
         if max_flows <= 0:

@@ -23,6 +23,8 @@ class Event:
     catches protocol bugs early.
     """
 
+    __slots__ = ("sim", "triggered", "ok", "value", "_callbacks")
+
     def __init__(self, sim):
         self.sim = sim
         self.triggered = False
@@ -69,16 +71,33 @@ class Event:
 class Timeout(Event):
     """An event that self-triggers ``delay`` seconds after creation."""
 
+    __slots__ = ("delay", "_call")
+
     def __init__(self, sim, delay: float, value=None):
-        super().__init__(sim)
+        # inlined Event.__init__: Timeouts are created once per engine
+        # quantum, so the super() dispatch is measurable
+        self.sim = sim
+        self.triggered = False
+        self.ok = True
+        self.value = None
+        self._callbacks = []
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
         self.delay = delay
-        self._call = sim.call_after(delay, self._fire, value)
+        self._call = sim.call_at(sim.now + delay, self._fire, value)
 
     def _fire(self, value) -> None:
+        # inlined trigger(): fires once per engine quantum, and the
+        # triggered guard above already covers the double-trigger error
         if not self.triggered:
-            self.trigger(value)
+            self.triggered = True
+            self.value = value
+            callbacks = self._callbacks
+            if callbacks:
+                self._callbacks = []
+                sim = self.sim
+                for fn in callbacks:
+                    sim.call_soon(fn, self)
 
     def cancel(self) -> None:
         """Cancel the pending timeout (no effect once triggered)."""
@@ -87,6 +106,8 @@ class Timeout(Event):
 
 class Condition(Event):
     """Base for composite waitables over several child waitables."""
+
+    __slots__ = ("children",)
 
     def __init__(self, sim, children):
         super().__init__(sim)
@@ -107,6 +128,8 @@ class AnyOf(Condition):
     so a racer can tell which waitable(s) won.
     """
 
+    __slots__ = ()
+
     def _child_fired(self, child) -> None:
         if self.triggered:
             return
@@ -122,6 +145,8 @@ class AllOf(Condition):
 
     ``value`` is a dict mapping each child to its value.
     """
+
+    __slots__ = ()
 
     def _child_fired(self, child) -> None:
         if self.triggered:

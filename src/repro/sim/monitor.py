@@ -24,6 +24,7 @@ The observability layer has three pieces:
 import heapq
 import json
 import math
+import sys
 from collections import defaultdict, deque
 from typing import (Any, Callable, Dict, Iterable, Iterator, List,
                     NamedTuple, Optional, Sequence, Tuple)
@@ -112,6 +113,9 @@ class Trace:
     def _admit(self, category: str) -> Optional[deque]:
         """Create (and cache) the bucket for ``category``, or cache a
         ``None`` verdict when the whitelist filters it out."""
+        # intern the category so every later memo lookup for the same
+        # literal hits the identity fast path in the dict probe
+        category = sys.intern(category)
         if self.categories is not None \
                 and not self.categories.admits(category):
             self._admitted[category] = None
@@ -122,6 +126,20 @@ class Trace:
         self._query_cache.clear()    # new category may match old queries
         return bucket
 
+    def wants(self, category: str) -> bool:
+        """True when a record in ``category`` would be retained.
+
+        The cheap guard for callers whose payloads are expensive to
+        build: ``if trace.wants("x.y"): trace.record(now, "x.y", ...)``.
+        Disabled tracing or a filtered category costs one dict probe.
+        """
+        if not self.enabled:
+            return False
+        bucket = self._admitted.get(category, _UNSET)
+        if bucket is _UNSET:
+            bucket = self._admit(category)
+        return bucket is not None
+
     def record(self, time: float, category: str, **payload: Any) -> None:
         if not self.enabled:
             return
@@ -131,6 +149,27 @@ class Trace:
         if bucket is None:
             return
         entry = TraceRecord(time, category, payload, self._seq)
+        self._seq += 1
+        if bucket.maxlen is not None and len(bucket) == bucket.maxlen:
+            self.dropped += 1
+            self.dropped_by_category[category] += 1
+        bucket.append(entry)
+        for fn in self._subscribers:
+            fn(entry)
+
+    def record_lazy(self, time: float, category: str,
+                    payload_fn: Callable[[], dict]) -> None:
+        """Like :meth:`record`, but ``payload_fn`` builds the payload
+        dict only if the category is actually admitted -- use when the
+        payload itself is expensive to construct."""
+        if not self.enabled:
+            return
+        bucket = self._admitted.get(category, _UNSET)
+        if bucket is _UNSET:
+            bucket = self._admit(category)
+        if bucket is None:
+            return
+        entry = TraceRecord(time, category, payload_fn(), self._seq)
         self._seq += 1
         if bucket.maxlen is not None and len(bucket) == bucket.maxlen:
             self.dropped += 1

@@ -20,6 +20,8 @@ from repro.sim.events import Event
 class Process(Event):
     """A running simulated activity.  Create via ``sim.process(gen)``."""
 
+    __slots__ = ("name", "_generator", "_waiting_on", "_pending_interrupt")
+
     _anonymous_counter = 0
 
     def __init__(self, sim, generator, name=None):
@@ -94,7 +96,9 @@ class Process(Event):
     def _wait_for(self, target) -> None:
         if isinstance(target, (int, float)):
             target = self.sim.timeout(target)
-        if not hasattr(target, "add_callback"):
+        try:
+            add_callback = target.add_callback
+        except AttributeError:
             self.sim.call_soon(
                 self._resume,
                 None,
@@ -104,7 +108,7 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        target.add_callback(self._wake)
+        add_callback(self._wake)
 
     def __repr__(self) -> str:
         state = "done" if self.triggered else "alive"

@@ -220,12 +220,15 @@ class ReplicaCoordination:
         stale progress is excluded, so a crash cannot stall the
         survivors' pacing forever.
         """
-        live_siblings = [rid for rid, ok in self.live.items() if ok]
         need = self.live_expected // 2
-        if need == 0 or not live_siblings:
+        if need == 0:
             return True
-        progresses = sorted((self.sibling_progress[rid]
-                             for rid in live_siblings), reverse=True)
+        progress = self.sibling_progress
+        progresses = sorted((progress[rid]
+                             for rid, ok in self.live.items() if ok),
+                            reverse=True)
+        if not progresses:
+            return True
         reference = progresses[min(need, len(progresses)) - 1]
         return boundary - reference <= self.lead_boundaries
 
@@ -236,7 +239,10 @@ class ReplicaCoordination:
         return event
 
     def _wake_progress_waiters(self) -> None:
-        waiters, self._progress_waiters = self._progress_waiters, []
+        waiters = self._progress_waiters
+        if not waiters:
+            return
+        self._progress_waiters = []
         for event in waiters:
             if not event.triggered:
                 event.trigger()
@@ -281,10 +287,15 @@ class ReplicaCoordination:
         if self._detection_running:
             return
         self._detection_running = True
-        interval = self.vmm.config.heartbeat_interval
-        self.sim.call_after(interval, self._heartbeat)
-        self.sim.call_after(self.vmm.config.suspicion_timeout,
-                            self._check_liveness)
+        config = self.vmm.config
+        # both recurring timers ride the simulation-wide timer wheel: a
+        # fleet's in-phase heartbeats share one kernel entry per cycle
+        # instead of one per replica (same fire times as the old
+        # call_after chains: heartbeat after one interval, the liveness
+        # sweep after one suspicion window, both every interval after)
+        wheel = self.sim.shared_wheel(config.heartbeat_interval)
+        wheel.add(self._heartbeat)
+        wheel.add(self._check_liveness, phase=config.suspicion_timeout)
 
     def _detection_alive(self) -> bool:
         if self.vmm.failed or not self.host.alive:
@@ -292,23 +303,21 @@ class ReplicaCoordination:
             return False
         return True
 
-    def _heartbeat(self) -> None:
+    def _heartbeat(self):
         if not self._detection_alive():
-            return
+            return False   # unregister from the wheel
         self.sender.multicast(("heartbeat", self.replica_id), data_len=16)
-        self.sim.call_after(self.vmm.config.heartbeat_interval,
-                            self._heartbeat)
+        return None
 
-    def _check_liveness(self) -> None:
+    def _check_liveness(self):
         if not self._detection_alive():
-            return
+            return False   # unregister from the wheel
         timeout = self.vmm.config.suspicion_timeout
         for rid in sorted(self.live):
             if self.live[rid] and \
                     self.sim.now - self.last_heard[rid] > timeout:
                 self._suspect(rid, reason="timeout")
-        self.sim.call_after(self.vmm.config.heartbeat_interval,
-                            self._check_liveness)
+        return None
 
     def _on_stream_loss(self, replica_id: int, pgm_seq: int) -> None:
         """NAK repair of one of ``replica_id``'s datagrams failed for

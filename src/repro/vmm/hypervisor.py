@@ -296,48 +296,60 @@ class ReplicaVMM:
         exit_interval = config.exit_interval_branches
         pacing_interval = config.pacing_interval_branches
         paced = config.mediate and self.coordination is not None
+        # stable collaborators, bound once: this generator resumes about
+        # 1e5 times per simulated second
+        sim = self.sim
+        guest = self.guest
+        next_epoch_boundary = self.clock.next_epoch_boundary
+        next_event_instr = guest.next_event_instr
+        run_due_events = guest.run_due_events
+        slowdown_factor = self.host.slowdown_factor
+        timeout = sim.timeout
+        spb = self._spb
         while self.running:
-            target = ((self.instr // exit_interval) + 1) * exit_interval
+            instr = self.instr
+            target = ((instr // exit_interval) + 1) * exit_interval
             if paced:
-                next_pace = ((self.instr // pacing_interval) + 1) \
+                next_pace = ((instr // pacing_interval) + 1) \
                     * pacing_interval
-                target = min(target, next_pace)
-            epoch_boundary = self.clock.next_epoch_boundary()
-            if epoch_boundary is not None and self.instr < epoch_boundary:
-                target = min(target, epoch_boundary)
-            guest_event = self.guest.next_event_instr()
+                if next_pace < target:
+                    target = next_pace
+            epoch_boundary = next_epoch_boundary()
+            if epoch_boundary is not None and instr < epoch_boundary \
+                    and epoch_boundary < target:
+                target = epoch_boundary
+            guest_event = next_event_instr()
             if guest_event is not None and guest_event < target:
-                target = max(guest_event, self.instr)
+                target = guest_event if guest_event > instr else instr
 
-            branches = target - self.instr
+            branches = target - instr
             if branches > 0:
-                duration = branches * self._spb \
-                    * self.host.slowdown_factor()
-                started, base_instr = self.sim.now, self.instr
+                duration = branches * spb * slowdown_factor()
+                started, base_instr = sim.now, instr
                 self._sleeping = True
                 try:
-                    yield self.sim.timeout(duration)
+                    yield timeout(duration)
                 except Interrupt:
                     if self.failed or not self.running:
                         return  # crashed mid-quantum: no final VM exit
                     # baseline-mode immediate injection: exit right here
-                    elapsed = self.sim.now - started
+                    elapsed = sim.now - started
                     fraction = 1.0
                     if duration > 0:
                         fraction = min(1.0, max(0.0, elapsed / duration))
                     self.instr = base_instr + int(branches * fraction)
-                    self.guest.run_due_events(self.instr)
+                    run_due_events(self.instr)
                     self._vm_exit()
                     continue
                 self._sleeping = False
-                self.instr = target
+                self.instr = instr = target
 
-            self.guest.run_due_events(self.instr)
-            if self.instr % exit_interval == 0 and self.instr > 0:
+            run_due_events(instr)
+            if instr % exit_interval == 0 and instr > 0:
                 self._vm_exit()
-            if paced and self.instr % pacing_interval == 0 and self.instr > 0:
+            if paced and instr % pacing_interval == 0 and instr > 0:
                 yield from self._pacing_barrier()
-            if epoch_boundary is not None and self.instr == epoch_boundary:
+            if epoch_boundary is not None and instr == epoch_boundary:
                 yield from self._epoch_barrier()
 
     # ------------------------------------------------------------------
@@ -383,8 +395,9 @@ class ReplicaVMM:
             finally:
                 self.guest.set_flow(None)
 
-        while True:
-            injection = self._pending_net.get(self._next_net_delivery_seq)
+        pending_net = self._pending_net
+        while pending_net:
+            injection = pending_net.get(self._next_net_delivery_seq)
             if injection is None or injection.delivery_virt > virt:
                 break
             del self._pending_net[self._next_net_delivery_seq]

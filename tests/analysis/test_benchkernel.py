@@ -1,0 +1,82 @@
+"""Tests for the kernel benchmark harness and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.analysis.benchkernel import (BenchError, check_regression,
+                                        load_bench, run_kernel_bench,
+                                        write_bench)
+
+
+def small_bench():
+    return run_kernel_bench(tenants=2, duration=0.2, seed=3, repeats=2)
+
+
+class TestRunKernelBench:
+    def test_small_cell_reports_all_fields(self):
+        result = small_bench()
+        assert result["benchmark"] == "kernel.scale2"
+        assert result["deterministic"] is True
+        assert result["events_per_cpu_second"] > 0
+        assert result["events_fired"] > 0
+        assert result["heap_high_water"] > 0
+        assert len(result["runs"]) == 2
+        # warm repeats are the same simulation: same DAG, same signature
+        first, second = result["runs"]
+        assert first["events_fired"] == second["events_fired"]
+        assert first["egress_signature"] == second["egress_signature"]
+        assert "repeats" not in result["config"]
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_kernel_bench(repeats=0)
+
+
+class TestRegressionGate:
+    def baseline(self, eps=100_000.0):
+        return {"config": {"tenants": 32, "duration": 2.0, "seed": 1,
+                           "request_rate": 30.0},
+                "events_per_cpu_second": eps}
+
+    def result(self, eps):
+        return dict(self.baseline(eps))
+
+    def test_within_tolerance_passes(self):
+        check_regression(self.result(85_000.0), self.baseline())
+        check_regression(self.result(120_000.0), self.baseline())
+
+    def test_regression_beyond_tolerance_fails(self):
+        with pytest.raises(BenchError, match="regressed"):
+            check_regression(self.result(70_000.0), self.baseline())
+
+    def test_config_mismatch_is_an_error_not_a_pass(self):
+        other = self.result(200_000.0)
+        other["config"] = dict(other["config"], tenants=8)
+        with pytest.raises(BenchError, match="config"):
+            check_regression(other, self.baseline())
+
+
+class TestWriteBench:
+    def test_atomic_write_and_trajectory_carry(self, tmp_path):
+        path = str(tmp_path / "BENCH_kernel.json")
+        first = small_bench()
+        write_bench(path, first, label="v1")
+        loaded = load_bench(path)
+        assert loaded["label"] == "v1"
+        assert loaded["trajectory"] == []
+
+        second = small_bench()
+        write_bench(path, second, label="v2", previous=loaded)
+        loaded = load_bench(path)
+        assert loaded["label"] == "v2"
+        assert [entry["label"] for entry in loaded["trajectory"]] == ["v1"]
+        assert loaded["trajectory"][0]["events_per_cpu_second"] == \
+            first["events_per_cpu_second"]
+        # the file is well-formed JSON ending in a newline (atomic writer)
+        raw = open(path, encoding="utf-8").read()
+        assert raw.endswith("\n")
+        json.loads(raw)
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_bench(str(tmp_path / "absent.json")) is None

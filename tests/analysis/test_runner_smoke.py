@@ -34,6 +34,7 @@ MINIMAL_KWARGS = {
     "flow_stage_latency": {"duration": 0.5},
     "scale_sweep": {"tenant_counts": (1,), "duration": 1.0,
                     "request_rate": 30.0},
+    "kernel_bench": {"tenants": 1, "duration": 0.5, "repeats": 1},
 }
 
 

@@ -7,23 +7,73 @@ from repro.net.packet import DEFAULT_MSS, TCP_HEADER_BYTES, UDP_HEADER_BYTES
 
 
 class TestPacket:
-    def test_unique_uids(self):
+    def test_uid_unassigned_until_sent(self):
+        """uids come from the network at send time, not from any global
+        counter at construction time (determinism: same-seed runs get the
+        same uids no matter what ran before in this process)."""
         a = Packet(src="a", dst="b", protocol="x", payload=None, size=1)
         b = Packet(src="a", dst="b", protocol="x", payload=None, size=1)
-        assert a.uid != b.uid
+        assert a.uid is None and b.uid is None
+
+    def test_network_assigns_sequential_uids(self):
+        from repro.net import Network
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        net = Network(sim)
+        net.attach("b", lambda packet: None)
+        a = Packet(src="a", dst="b", protocol="x", payload=None, size=1)
+        b = Packet(src="a", dst="b", protocol="x", payload=None, size=1)
+        net.send(a)
+        net.send(b)
+        assert (a.uid, b.uid) == (0, 1)
+        # resending does not reassign
+        net.send(a)
+        assert a.uid == 0
+
+    def test_uid_sequences_identical_across_warm_process_runs(self):
+        """Regression for the global-itertools.count uid leak: a second
+        same-seed run in the same process must hand out the same uids as
+        the first (the old process-global counter kept counting, so any
+        uid-keyed tie-break or log diverged on warm runs)."""
+        from repro.net import Link, Network
+        from repro.sim import Simulator
+
+        def run_once():
+            sim = Simulator(seed=3)
+            net = Network(sim)
+            net.attach("svc", lambda packet: None)
+            net.add_route(None, "svc", Link(sim, name="l", latency=0.001))
+            uids = []
+
+            def send_one():
+                packet = Packet(src="cli", dst="svc", protocol="x",
+                                payload=None, size=64)
+                net.send(packet)
+                uids.append(packet.uid)
+
+            for i in range(5):
+                sim.call_at(0.01 * i, send_one)
+            sim.run()
+            return uids
+
+        first, second = run_once(), run_once()
+        assert first == list(range(5))
+        assert second == first
 
     def test_zero_size_rejected(self):
         with pytest.raises(ValueError):
             Packet(src="a", dst="b", protocol="x", payload=None, size=0)
 
-    def test_copy_to_changes_destination_and_uid(self):
+    def test_copy_to_changes_destination_and_resets_uid(self):
         original = Packet(src="a", dst="b", protocol="x", payload="p",
                           size=10)
+        original.uid = 7
         copy = original.copy_to("c")
         assert copy.dst == "c"
         assert copy.src == "a"
         assert copy.payload == "p"
-        assert copy.uid != original.uid
+        assert copy.uid is None
 
 
 class TestTcpSegment:
