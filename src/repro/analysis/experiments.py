@@ -463,6 +463,13 @@ def _register_bench_runner() -> None:
     RUNNERS["kernel_bench"] = run_kernel_bench
 
 
+def _register_chaos_runner() -> None:
+    from repro.analysis.chaos import run_chaos_cell
+
+    RUNNERS["chaos_cell"] = run_chaos_cell
+
+
 _register_flow_runner()
 _register_scale_runner()
 _register_bench_runner()
+_register_chaos_runner()

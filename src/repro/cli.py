@@ -270,10 +270,14 @@ def cmd_flows(args) -> None:
 
 
 def cmd_chaos(args) -> None:
+    if args.mode == "campaign":
+        return cmd_chaos_campaign(args)
     from repro.analysis import format_table
     from repro.analysis.chaos import (chaos_signature, chaos_timeline_rows,
                                       default_schedule, determinism_check,
                                       run_chaos_experiment, service_summary)
+    if args.duration is None:
+        args.duration = 3.0
     schedule = default_schedule(crash_at=args.crash_at,
                                 restart_at=args.restart_at,
                                 replica=args.replica)
@@ -312,6 +316,65 @@ def cmd_chaos(args) -> None:
             print(f"  run 1: {a}")
             print(f"  run 2: {b}")
             raise SystemExit(1)
+
+
+def cmd_chaos_campaign(args) -> None:
+    import json
+    import os
+
+    from repro.analysis.chaos import (CELL_SCENARIOS, run_chaos_campaign,
+                                      write_chaos_bench)
+    from repro.sim.rng import derive_root_seed
+
+    scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    unknown = sorted(set(scenarios) - set(CELL_SCENARIOS))
+    if unknown:
+        raise SystemExit(f"unknown chaos scenarios {unknown}; "
+                         f"choose from {list(CELL_SCENARIOS)}")
+    seeds = [derive_root_seed(args.seed_base, i) for i in range(args.seeds)]
+    duration = args.duration if args.duration is not None else 6.0
+    progress = None if args.json else print
+    summary = run_chaos_campaign(seeds=seeds, scenarios=scenarios,
+                                 duration=duration, rate=args.rate,
+                                 jobs=args.jobs, progress=progress)
+    if args.output:
+        previous = None
+        if os.path.exists(args.output):
+            with open(args.output, "r", encoding="utf-8") as handle:
+                previous = json.load(handle)
+        path = write_chaos_bench(args.output, summary, label=args.label,
+                                 previous=previous)
+        if not args.json:
+            print(f"wrote {path}")
+    if args.json:
+        print(json.dumps(summary, indent=2, default=repr))
+    else:
+        print(f"\nChaos campaign: {summary['cells']} cells "
+              f"({args.seeds} seeds x {len(scenarios)} scenarios), "
+              f"{summary['faults_injected']} faults injected "
+              f"({summary['noops']} no-ops) in "
+              f"{summary['wall_seconds']:.1f}s wall")
+        recovery = ("no recoveries needed"
+                    if summary["recovery_p50"] is None else
+                    f"recovery p50 {summary['recovery_p50']:.3f}s "
+                    f"p95 {summary['recovery_p95']:.3f}s")
+        print(f"Healing: {summary['evacuations']} evacuations, "
+              f"{summary['rejoins']} in-place rejoins, "
+              f"{summary['readmits']} readmits, "
+              f"{summary['heal_failures']} gave up; {recovery}")
+        print(f"Service: {summary['replies']}/{summary['sent']} pings "
+              f"answered, {summary['client_retries']} client retries")
+        if summary["ok"]:
+            print(f"Invariants: PASS -- placement, liveness and hygiene "
+                  f"held in all {summary['cells']} cells; "
+                  f"all signatures replayed byte-identical")
+        else:
+            print(f"Invariants: FAIL -- "
+                  f"{len(summary['violations'])} violations:")
+            for violation in summary["violations"]:
+                print(f"  {violation}")
+    if not summary["ok"]:
+        raise SystemExit(1)
 
 
 def cmd_scale(args) -> None:
@@ -525,17 +588,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_flows)
 
     p = sub.add_parser("chaos", help="crash/recover a replica mid-run "
-                                     "under load; optionally verify "
-                                     "same-seed determinism")
+                                     "under load; or 'chaos campaign': "
+                                     "randomized invariant-gated storms "
+                                     "across seeds x scenarios")
+    p.add_argument("mode", nargs="?", choices=["campaign"],
+                   help="omit for the single scripted run; 'campaign' "
+                        "sweeps seeded random storms and gates on "
+                        "placement/liveness/hygiene invariants")
     p.add_argument("--seed", type=int, default=7)
-    p.add_argument("--duration", type=float, default=3.0)
+    p.add_argument("--duration", type=float, default=None,
+                   help="simulated seconds per run (default: 3 for the "
+                        "scripted run, 6 per campaign cell)")
     p.add_argument("--crash-at", type=float, default=0.9)
     p.add_argument("--restart-at", type=float, default=2.0)
     p.add_argument("--replica", type=int, default=2,
                    help="echo replica id to crash")
     p.add_argument("--check-determinism", action="store_true",
                    help="run twice with the same seed and compare "
-                        "fault/recovery/release signatures")
+                        "fault/recovery/heal/release signatures "
+                        "(campaign cells always do this)")
+    p.add_argument("--seeds", type=_positive_int, default=7,
+                   help="campaign: number of derived storm seeds")
+    p.add_argument("--seed-base", type=int, default=101,
+                   help="campaign: base for seed derivation")
+    p.add_argument("--scenarios", default=",".join(
+                       ("single", "multi", "sharded")),
+                   help="campaign: comma-separated cell scenarios")
+    p.add_argument("--rate", type=float, default=1.2,
+                   help="campaign: storm fault rate (faults/s)")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="campaign: worker processes")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="campaign: write the gate summary (e.g. "
+                        "BENCH_chaos.json), carrying the trajectory")
+    p.add_argument("--label", default="head",
+                   help="campaign: label recorded in --output")
+    p.add_argument("--json", action="store_true",
+                   help="campaign: print the full summary as JSON")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("scale", help="multi-tenant fleet scaling: "

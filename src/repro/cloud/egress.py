@@ -59,6 +59,14 @@ class EgressNode:
     def live_count(self, vm_name: str) -> int:
         return self._expected[vm_name] - len(self._down.get(vm_name, ()))
 
+    def _live_floor(self, vm_name: str) -> int:
+        """Copies the release rule waits for, floored at 1: with every
+        replica suspected dead there is no median to wait for, but a
+        zero-copy rule would be ill-formed and wedge the edge forever
+        -- release on whatever copy still shows up, and let the healer
+        rebuild the quorum."""
+        return max(1, self.live_count(vm_name))
+
     def mark_replica_down(self, vm_name: str, replica_id: int) -> None:
         """A replica is suspected dead: stop waiting for its copies."""
         if vm_name not in self._expected:
@@ -71,7 +79,7 @@ class EgressNode:
         self.sim.metrics.incr("egress.degraded")
         self.sim.trace.record(self.sim.now, "egress.degraded",
                               vm=vm_name, replica=replica_id, live=live)
-        self._retarget_vm(vm_name, live)
+        self._retarget_vm(vm_name, self._live_floor(vm_name))
 
     def mark_replica_up(self, vm_name: str, replica_id: int) -> None:
         """A recovered replica rejoined: expect its copies again."""
@@ -82,7 +90,7 @@ class EgressNode:
         live = self.live_count(vm_name)
         self.sim.trace.record(self.sim.now, "egress.restored",
                               vm=vm_name, replica=replica_id, live=live)
-        self._retarget_vm(vm_name, live)
+        self._retarget_vm(vm_name, self._live_floor(vm_name))
 
     def _retarget_vm(self, vm_name: str, live: int) -> None:
         for key in sorted(k for k in self._releases if k[0] == vm_name):
@@ -104,7 +112,7 @@ class EgressNode:
         release = self._releases.get(key)
         if release is None:
             release = QuorumRelease(key, expected=expected)
-            release.retarget(self.live_count(envelope.vm), self.sim.now)
+            release.retarget(self._live_floor(envelope.vm), self.sim.now)
             self._releases[key] = release
             self._envelopes[key] = envelope
             self._born[key] = self.sim.now

@@ -149,6 +149,9 @@ class Cloud:
         self.vms: Dict[str, ReplicatedVM] = {}
         self.clients: Dict[str, ClientPort] = {}
         self._down_replicas: Dict[str, set] = {}
+        #: optional EvacuationController (repro.faults.heal) notified of
+        #: suspicions and condemned hosts
+        self.healer = None
         self._started = False
         if placer == "auto":
             self._placer_mode = "auto"
@@ -330,31 +333,57 @@ class Cloud:
         ingress = self.ingresses[vm.shard]
         host_addresses = [self.hosts[h].address for h in vm.hosts]
         ingress.register_vm(vm.name, host_addresses)
-        lead_boundaries = max(1, int(
-            self.config.max_lead_virtual
-            / (self.config.pacing_interval_branches
-               * self.config.initial_slope)))
         for replica_id, host_id in enumerate(vm.hosts):
             host = self.hosts[host_id]
             vmm = vm.vmms[replica_id]
-            siblings = {
-                rid: self.hosts[h].address
-                for rid, h in enumerate(vm.hosts) if rid != replica_id
-            }
-            vmm.coordination = ReplicaCoordination(
-                self.sim, vmm, host, siblings, lead_boundaries)
-            vmm.coordination.on_suspect = (
-                lambda rid, name=vm.name: self._replica_suspected(name, rid))
-            vmm.coordination.on_rejoin = (
-                lambda rid, name=vm.name: self._replica_rejoined(name, rid))
-            receiver = PgmReceiver(host.node, f"ingress.{vm.name}")
-            receiver.subscribe(
-                ingress.address,
-                lambda envelope, seq, h=host, v=vmm:
-                h.dom0.submit(self.config.dom0_packet_cost,
-                              v.observe_inbound, envelope.seq,
-                              envelope.inner),
-                on_loss=lambda seq, v=vmm: self._ingress_loss(v, seq))
+            self.attach_coordination(vm, vmm, host)
+            self.attach_ingress_receiver(vm, vmm, host)
+
+    def lead_boundaries(self) -> int:
+        """Pacing lead budget in barrier counts (Sec. V-A)."""
+        return max(1, int(
+            self.config.max_lead_virtual
+            / (self.config.pacing_interval_branches
+               * self.config.initial_slope)))
+
+    def attach_coordination(self, vm: ReplicatedVM, vmm: ReplicaVMM,
+                            host: Host,
+                            sibling_start_seqs: Optional[Dict[int, int]]
+                            = None) -> ReplicaCoordination:
+        """Build one replica's coordination endpoint and hook its failure
+        detector into the fabric.  ``sibling_start_seqs`` seeds the PGM
+        stream cursors for an evacuated replica joining mid-stream."""
+        siblings = {
+            rid: self.hosts[h].address
+            for rid, h in enumerate(vm.hosts) if rid != vmm.replica_id
+        }
+        vmm.coordination = ReplicaCoordination(
+            self.sim, vmm, host, siblings, self.lead_boundaries(),
+            sibling_start_seqs=sibling_start_seqs)
+        vmm.coordination.on_suspect = (
+            lambda rid, name=vm.name: self._replica_suspected(name, rid))
+        vmm.coordination.on_rejoin = (
+            lambda rid, name=vm.name: self._replica_rejoined(name, rid))
+        return vmm.coordination
+
+    def attach_ingress_receiver(self, vm: ReplicatedVM, vmm: ReplicaVMM,
+                                host: Host,
+                                start_seq: int = 0) -> PgmReceiver:
+        """Subscribe one replica host to the VM's ingress replication
+        group.  An evacuated replica subscribes at its replay horizon
+        (``start_seq``) so the gap back to the sender's cursor is
+        NAK-repaired from the ingress retain buffer."""
+        ingress = self.ingresses[vm.shard]
+        receiver = PgmReceiver(host.node, f"ingress.{vm.name}")
+        receiver.subscribe(
+            ingress.address,
+            lambda envelope, seq, h=host, v=vmm:
+            h.dom0.submit(self.config.dom0_packet_cost,
+                          v.observe_inbound, envelope.seq,
+                          envelope.inner),
+            on_loss=lambda seq, v=vmm: self._ingress_loss(v, seq),
+            start_seq=start_seq)
+        return receiver
 
     # ------------------------------------------------------------------
     # failure propagation (coordination layer -> fabric -> egress)
@@ -373,6 +402,8 @@ class Cloud:
         down.add(replica_id)
         if self.config.egress_enabled:
             self.egress_for(vm_name).mark_replica_down(vm_name, replica_id)
+        if self.healer is not None:
+            self.healer.replica_suspected(vm_name, replica_id)
 
     def _replica_rejoined(self, vm_name: str, replica_id: int) -> None:
         down = self._down_replicas.get(vm_name)

@@ -100,6 +100,13 @@ class TenantSpec:
     #: optional per-VM host pinning (list of host-id triples); None
     #: defers to the placement scheduler
     hosts: Optional[List[List[int]]] = None
+    #: per-request client timeout (s); None disables retry entirely and
+    #: keeps the historical byte-identical event stream
+    request_timeout: Optional[float] = None
+    #: retransmits per request once ``request_timeout`` is set
+    max_retries: int = 3
+    #: first-retry backoff (s); doubles per attempt, seeded jitter on top
+    backoff_base: float = 0.05
 
     def __post_init__(self) -> None:
         if not self.name or any(c in self.name for c in "/: "):
@@ -121,6 +128,16 @@ class TenantSpec:
         if self.file_bytes < 1:
             raise ScenarioError(
                 f"tenant {self.name!r}: file_bytes must be >= 1")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ScenarioError(
+                f"tenant {self.name!r}: request_timeout must be "
+                f"positive, got {self.request_timeout}")
+        if self.max_retries < 0:
+            raise ScenarioError(
+                f"tenant {self.name!r}: max_retries must be >= 0")
+        if self.backoff_base <= 0:
+            raise ScenarioError(
+                f"tenant {self.name!r}: backoff_base must be positive")
         if self.hosts is not None and len(self.hosts) != self.count:
             raise ScenarioError(
                 f"tenant {self.name!r}: {len(self.hosts)} host pins for "
@@ -265,12 +282,17 @@ class ScenarioSpec:
 class DownloadLoop:
     """Fileserver client: fetches ``size`` bytes in a closed loop."""
 
-    def __init__(self, client_node, target: str, size: int):
+    def __init__(self, client_node, target: str, size: int,
+                 timeout: Optional[float] = None, max_retries: int = 3,
+                 backoff_base: float = 0.05):
         from repro.workloads.fileserver import HttpDownloader
 
-        self.downloader = HttpDownloader(client_node, target)
+        self.downloader = HttpDownloader(
+            client_node, target, timeout=timeout,
+            max_retries=max_retries, backoff_base=backoff_base)
         self.size = size
         self.completed = 0
+        self.failed = 0
         self._running = False
 
     def start(self) -> None:
@@ -283,10 +305,17 @@ class DownloadLoop:
     def _fetch(self) -> None:
         if not self._running:
             return
-        self.downloader.download(self.size, on_done=self._on_done)
+        self.downloader.download(self.size, on_done=self._on_done,
+                                 on_fail=self._on_fail)
 
     def _on_done(self, _latency: float) -> None:
         self.completed += 1
+        self._fetch()
+
+    def _on_fail(self, _size: int) -> None:
+        # retries exhausted (only with a timeout set): count it and
+        # keep the closed loop alive rather than silently stalling
+        self.failed += 1
         self._fetch()
 
     @property
@@ -310,9 +339,15 @@ def _make_driver(kind: str, client_node, target: str,
     if kind == "echo":
         from repro.workloads.echo import PingClient
         return PingClient(client_node, target,
-                          mean_interval=1.0 / tenant.request_rate)
+                          mean_interval=1.0 / tenant.request_rate,
+                          timeout=tenant.request_timeout,
+                          max_retries=tenant.max_retries,
+                          backoff_base=tenant.backoff_base)
     if kind == "fileserver":
-        return DownloadLoop(client_node, target, tenant.file_bytes)
+        return DownloadLoop(client_node, target, tenant.file_bytes,
+                            timeout=tenant.request_timeout,
+                            max_retries=tenant.max_retries,
+                            backoff_base=tenant.backoff_base)
     from repro.workloads.nfs import NhfsstoneClient
     return NhfsstoneClient(client_node, target, rate=tenant.request_rate)
 

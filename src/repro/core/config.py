@@ -95,6 +95,23 @@ class StopWatchConfig:
     #: its quorum is swept (the crashed-replica release leak)
     egress_stale_timeout: float = 2.0
 
+    # -- self-healing (repro.faults.heal) ---------------------------------------
+    #: real seconds between a host's permanent (condemned) failure and the
+    #: evacuation of its replicas onto spare capacity
+    evacuation_grace: float = 0.25
+    #: real seconds a replica suspicion must persist before the healer
+    #: acts on it (long enough for a scheduled restart to win the race)
+    suspect_confirm: float = 0.8
+    #: real seconds between a rejoin announcement and the survivors'
+    #: catch-up push of cached decisions; must exceed the PGM NAK repair
+    #: window so the lossless retransmission path wins whenever it can
+    rejoin_catchup_delay: float = 0.08
+    #: real seconds between healer attempts when one fails (e.g. no live
+    #: survivor to replay from yet)
+    heal_retry_interval: float = 0.5
+    #: healer attempts per replica before giving up (`heal.failed`)
+    heal_max_attempts: int = 6
+
     # -- dom0 device-model costs (real seconds per event) -----------------------
     #: dom0 CPU time to observe/process one inbound packet
     dom0_packet_cost: float = 40e-6
@@ -142,6 +159,16 @@ class StopWatchConfig:
             raise ConfigError("stale_agreement_timeout must be positive")
         if self.egress_stale_timeout <= 0:
             raise ConfigError("egress_stale_timeout must be positive")
+        if self.evacuation_grace <= 0:
+            raise ConfigError("evacuation_grace must be positive")
+        if self.suspect_confirm <= 0:
+            raise ConfigError("suspect_confirm must be positive")
+        if self.rejoin_catchup_delay <= 0:
+            raise ConfigError("rejoin_catchup_delay must be positive")
+        if self.heal_retry_interval <= 0:
+            raise ConfigError("heal_retry_interval must be positive")
+        if self.heal_max_attempts < 1:
+            raise ConfigError("heal_max_attempts must be >= 1")
         from repro.core.median import AGGREGATIONS
         if self.aggregation not in AGGREGATIONS:
             raise ConfigError(f"unknown aggregation {self.aggregation!r}; "

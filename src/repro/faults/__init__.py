@@ -8,6 +8,11 @@
 - :func:`rejoin_replica` -- rebuilds a crashed replica by strict replay
   of a survivor's recorded injection schedule, re-asserting the
   determinism invariant before the replica rejoins the quorum.
+- :class:`EvacuationController` -- self-healing: rebuilds replicas of
+  *permanently* lost machines on spare capacity, preserving the
+  anti-affinity placement invariant (repro.faults.heal).
+- :mod:`repro.faults.invariants` -- machine-checked safety/liveness/
+  hygiene gates for randomized chaos campaigns.
 """
 
 from repro.faults.schedule import (
@@ -19,8 +24,11 @@ from repro.faults.schedule import (
 from repro.faults.injector import FaultInjector, InjectionError
 from repro.faults.recovery import RecoveryError, pick_survivor, \
     rejoin_replica
+from repro.faults.heal import EvacuationController, HealError
 
 __all__ = [
+    "EvacuationController",
+    "HealError",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultSchedule",

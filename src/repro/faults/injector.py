@@ -12,7 +12,7 @@ their own.
 from typing import Dict, Optional, Tuple
 
 from repro.faults.schedule import FaultEvent, FaultSchedule
-from repro.faults.recovery import rejoin_replica
+from repro.faults.recovery import RecoveryError, rejoin_replica
 from repro.vmm.replay import ExecutionRecorder
 
 
@@ -97,25 +97,65 @@ class FaultInjector:
         handler(event)
         self.applied.append(event)
 
+    def _noop(self, event: FaultEvent, reason: str) -> None:
+        """A randomized storm produced an overlapping or redundant
+        event (crash of an already-dead replica, heal of a healthy
+        host, ...): trace it and keep the campaign running instead of
+        tearing the whole run down mid-flight."""
+        self.sim.metrics.incr("fault.noops")
+        self.sim.trace.record(self.sim.now, "fault.noop",
+                              fault=event.fault, target=event.target,
+                              reason=reason)
+
     def _do_crash_replica(self, event: FaultEvent) -> None:
         vm, replica_id = self._replica_target(event)
-        self.cloud.host_for(vm.name, replica_id).fail()
+        host = self.cloud.host_for(vm.name, replica_id)
+        if not host.alive:
+            return self._noop(event, "host already down")
+        host.fail()
+
+    def _do_crash_host(self, event: FaultEvent) -> None:
+        """Permanent machine loss: the host is condemned (never
+        restored) and the healer, if armed, evacuates its replicas."""
+        host = self._host_target(event)
+        if host.condemned:
+            return self._noop(event, "host already condemned")
+        self.sim.trace.record(self.sim.now, "fault.condemn",
+                              host=host.host_id)
+        host.condemn()
+        healer = getattr(self.cloud, "healer", None)
+        if healer is not None:
+            healer.host_condemned(host)
 
     def _do_restart_replica(self, event: FaultEvent) -> None:
         vm, replica_id = self._replica_target(event)
         vmm = vm.vmms[replica_id]
         if not vmm.failed:
-            return  # never actually crashed (e.g. schedule beyond run end)
-        rejoin_replica(self.cloud, vm.name, replica_id)
+            # never actually crashed (e.g. schedule beyond run end)
+            return self._noop(event, "replica is live")
+        try:
+            rejoin_replica(self.cloud, vm.name, replica_id)
+        except RecoveryError as exc:
+            # e.g. condemned host or no survivor yet -- the healer's
+            # retry loop owns those cases
+            return self._noop(event, str(exc))
 
     def _do_partition_host(self, event: FaultEvent) -> None:
         host = self._host_target(event)
+        if self.cloud.network.is_isolated(host.address):
+            return self._noop(event, "host already partitioned")
         self.sim.trace.record(self.sim.now, "fault.partition",
                               host=host.host_id)
         self.cloud.network.isolate(host.address)
 
     def _do_heal_host(self, event: FaultEvent) -> None:
         host = self._host_target(event)
+        if host.condemned:
+            return self._noop(event, "host is condemned")
+        if not self.cloud.network.is_isolated(host.address):
+            return self._noop(event, "host was never partitioned")
+        if not host.alive:
+            return self._noop(event, "host crashed, not partitioned")
         self.sim.trace.record(self.sim.now, "recovery.heal",
                               host=host.host_id)
         self.cloud.network.restore(host.address)
@@ -133,24 +173,28 @@ class FaultInjector:
         key, link = self._link_target(event)
         original = self._link_originals.pop(key, None)
         if original is None:
-            raise InjectionError(
-                f"restore_link {event.target!r}: link was never degraded")
+            return self._noop(event, "link was never degraded")
         loss, latency, jitter = original
         link.degrade(loss=loss, latency=latency, jitter=jitter)
         link.restore()
 
     def _do_drop_proposals(self, event: FaultEvent) -> None:
         vm, replica_id = self._replica_target(event)
-        coordination = vm.vmms[replica_id].coordination
+        vmm = vm.vmms[replica_id]
+        coordination = vmm.coordination
         if coordination is None:
             raise InjectionError(
                 f"{vm.name} r{replica_id} is not mediated; it has no "
                 f"coordination channel to drop from")
+        if vmm.failed:
+            return self._noop(event, "replica is down")
         coordination.sender.drop_next(event.params.get("count", 1),
                                       purge=event.params.get("purge", True))
 
     def _do_delay_dom0(self, event: FaultEvent) -> None:
         host = self._host_target(event)
+        if not host.alive:
+            return self._noop(event, "host is down")
         host.dom0.inject_stall(event.params.get("duration", 0.01))
 
     # -- edge (ingress/egress shard) faults ----------------------------
@@ -170,12 +214,16 @@ class FaultInjector:
 
     def _do_partition_edge(self, event: FaultEvent) -> None:
         node = self._edge_target(event)
+        if self.cloud.network.is_isolated(node.address):
+            return self._noop(event, "edge already partitioned")
         self.sim.trace.record(self.sim.now, "fault.partition_edge",
                               address=node.address)
         self.cloud.network.isolate(node.address)
 
     def _do_heal_edge(self, event: FaultEvent) -> None:
         node = self._edge_target(event)
+        if not self.cloud.network.is_isolated(node.address):
+            return self._noop(event, "edge was never partitioned")
         self.sim.trace.record(self.sim.now, "recovery.heal_edge",
                               address=node.address)
         self.cloud.network.restore(node.address)

@@ -1,0 +1,227 @@
+"""Machine-checked invariant gates for randomized chaos campaigns.
+
+A chaos cell is only as good as what it *checks*: a storm that runs to
+completion proves nothing if the fabric quietly leaked flows or parked
+a replica on the wrong host.  This module turns the StopWatch
+robustness contract into three checkable families, each returning
+:class:`Violation` records instead of raising, so a campaign can
+aggregate them per cell:
+
+- **safety / placement** (:func:`check_placement`): after the storm and
+  every heal, the placement scheduler's Sec. VIII invariants still hold
+  (``verify()``), the *wired* fabric matches the scheduler's book
+  (every replica VMM really sits on its assigned triangle), and every
+  replica is live -- unless the healer explicitly gave up on it
+  (``heal.failed`` trace record), which is a reported outcome, not a
+  silent leak.
+- **liveness** (:func:`check_liveness`): disruption is confined to a
+  *disruption envelope* derived from the trace (first fault injection
+  to last fault/recovery/heal activity, plus slack).  After the
+  envelope closes, the client must demonstrably be served again, and
+  no egress may sit on undelivered agreed packets.
+- **hygiene** (:func:`check_hygiene`): nothing leaks.  Live replicas
+  hold no stuck agreements or undelivered net injections, no ingress
+  pause buffer survives the run, and the event queue drains to the
+  steady-state floor (heartbeats + client timers), catching
+  accidentally self-rescheduling timers.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: minimum quiet time (s) between envelope close and client stop for
+#: the served-after-faults liveness check to be meaningful
+MIN_TAIL_WINDOW = 0.2
+
+#: slack (s) added after the last fault/recovery/heal activity before
+#: the fabric is required to be fully serving again
+ENVELOPE_SLACK = 0.5
+
+#: event-queue floor: per-replica heartbeat + suspicion timers, plus
+#: per-client pacing/retry timers, plus a fixed allowance
+QUEUE_PER_REPLICA = 2
+QUEUE_PER_CLIENT = 2
+QUEUE_FIXED_ALLOWANCE = 16
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant: which family, where, and what happened."""
+
+    invariant: str   # "placement" | "liveness" | "hygiene"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+def disruption_envelope(trace, slack: float = ENVELOPE_SLACK) \
+        -> Optional[Tuple[float, float]]:
+    """``(start, end)`` of the fault-disrupted window, or None if the
+    run injected nothing.
+
+    Starts at the first ``fault.*`` record; ends ``slack`` seconds
+    after the last ``fault.*``/``recovery.*``/``heal.*`` record -- by
+    then every repair the run is going to make has been made, so
+    service degradation past the envelope is a liveness violation, not
+    an excusable symptom.
+    """
+    starts = [r.time for r in trace.iter_records("fault")]
+    if not starts:
+        return None
+    ends = list(starts)
+    ends += [r.time for r in trace.iter_records("recovery")]
+    ends += [r.time for r in trace.iter_records("heal")]
+    return (min(starts), max(ends) + slack)
+
+
+# ---------------------------------------------------------------------------
+# safety: placement
+# ---------------------------------------------------------------------------
+def check_placement(cloud, placer) -> List[Violation]:
+    """Scheduler invariants + wired-fabric agreement + replica health."""
+    violations: List[Violation] = []
+    if placer is not None and not placer.verify():
+        violations.append(Violation(
+            "placement", "PlacementScheduler.verify() failed: "
+            "anti-affinity or capacity accounting broken"))
+    trace = cloud.sim.trace
+    failed_heals = {(r.payload.get("vm"), r.payload.get("replica"))
+                    for r in trace.iter_records("heal.failed")}
+    for vm_name, vm in cloud.vms.items():
+        wired = tuple(sorted(vmm.host.host_id for vmm in vm.vmms))
+        if placer is not None:
+            assigned = placer.assignments.get(vm_name)
+            if assigned is not None and wired != tuple(assigned):
+                violations.append(Violation(
+                    "placement",
+                    f"{vm_name}: wired hosts {wired} != scheduler "
+                    f"assignment {tuple(assigned)}"))
+        if len(set(wired)) != len(wired):
+            violations.append(Violation(
+                "placement",
+                f"{vm_name}: replicas share a host: {wired}"))
+        for rid, vmm in enumerate(vm.vmms):
+            if vmm.failed and (vm_name, rid) not in failed_heals:
+                violations.append(Violation(
+                    "placement",
+                    f"{vm_name} r{rid}: dead at end of run with no "
+                    f"heal.failed record (healer never gave up, never "
+                    f"succeeded)"))
+            elif not vmm.failed and not vmm.host.alive:
+                violations.append(Violation(
+                    "placement",
+                    f"{vm_name} r{rid}: marked live on dead "
+                    f"host {vmm.host.host_id}"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# liveness
+# ---------------------------------------------------------------------------
+def check_liveness(cloud, pingers, client_stop: float,
+                   slack: float = ENVELOPE_SLACK) -> List[Violation]:
+    """Service resumes after the disruption envelope; no stuck egress.
+
+    ``pingers`` maps a label to its :class:`PingClient`;
+    ``client_stop`` is the simulated time the drivers were stopped
+    (end of the load window).
+    """
+    violations: List[Violation] = []
+    pending = cloud.pending_releases
+    if pending:
+        violations.append(Violation(
+            "liveness", f"{pending} agreed packets stuck in egress "
+            f"pending_releases at end of run"))
+    envelope = disruption_envelope(cloud.sim.trace, slack=slack)
+    for label, pinger in pingers.items():
+        if pinger.sent == 0:
+            violations.append(Violation(
+                "liveness", f"{label}: client never sent anything"))
+            continue
+        if envelope is None:
+            if not pinger.reply_times:
+                violations.append(Violation(
+                    "liveness", f"{label}: no faults injected yet "
+                    f"0/{pinger.sent} pings answered"))
+            continue
+        start, end = envelope
+        tail = client_stop - end
+        if tail < MIN_TAIL_WINDOW:
+            violations.append(Violation(
+                "liveness",
+                f"{label}: only {tail:.3f}s of load after the "
+                f"disruption envelope closed at {end:.3f} "
+                f"(need >= {MIN_TAIL_WINDOW}); cell too short to "
+                f"observe recovery"))
+            continue
+        after = [t for t in pinger.reply_times if t > end]
+        if not after:
+            violations.append(Violation(
+                "liveness",
+                f"{label}: no replies after the disruption envelope "
+                f"[{start:.3f}, {end:.3f}] despite {tail:.3f}s of "
+                f"subsequent load"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# hygiene
+# ---------------------------------------------------------------------------
+def check_hygiene(cloud, clients: int = 0) -> List[Violation]:
+    """No leaked state: agreements, net injections, pause buffers,
+    event queue."""
+    violations: List[Violation] = []
+    total_replicas = 0
+    for vm_name, vm in cloud.vms.items():
+        for rid, vmm in enumerate(vm.vmms):
+            total_replicas += 1
+            if vmm.failed:
+                continue
+            coordination = vmm.coordination
+            if coordination is not None:
+                if coordination._agreements:
+                    violations.append(Violation(
+                        "hygiene",
+                        f"{vm_name} r{rid}: {len(coordination._agreements)} "
+                        f"agreements never resolved "
+                        f"(seqs {sorted(coordination._agreements)[:8]})"))
+                if coordination._packets:
+                    violations.append(Violation(
+                        "hygiene",
+                        f"{vm_name} r{rid}: {len(coordination._packets)} "
+                        f"buffered packets never released"))
+            if vmm._pending_net:
+                violations.append(Violation(
+                    "hygiene",
+                    f"{vm_name} r{rid}: {len(vmm._pending_net)} net "
+                    f"injections never delivered to the guest"))
+    for ingress in cloud.ingresses:
+        for vm_name, buffered in ingress._paused.items():
+            violations.append(Violation(
+                "hygiene",
+                f"ingress {ingress.address}: {vm_name} still paused "
+                f"with {len(buffered)} buffered packets (evacuation "
+                f"never resumed it)"))
+    ceiling = (QUEUE_PER_REPLICA * total_replicas
+               + QUEUE_PER_CLIENT * clients + QUEUE_FIXED_ALLOWANCE)
+    pending = cloud.sim.pending_events
+    if pending > ceiling:
+        violations.append(Violation(
+            "hygiene",
+            f"event queue holds {pending} live events at end of run "
+            f"(steady-state ceiling {ceiling} for {total_replicas} "
+            f"replicas + {clients} clients); something reschedules "
+            f"itself forever"))
+    return violations
+
+
+def check_all(cloud, placer, pingers, client_stop: float,
+              clients: Optional[int] = None) -> List[Violation]:
+    """All three families, aggregated in a stable order."""
+    if clients is None:
+        clients = len(pingers)
+    violations = check_placement(cloud, placer)
+    violations += check_liveness(cloud, pingers, client_stop)
+    violations += check_hygiene(cloud, clients=clients)
+    return violations

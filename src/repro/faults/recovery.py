@@ -68,10 +68,15 @@ def rejoin_replica(cloud, vm_name: str, replica_id: int) -> ReplayEngine:
         raise RecoveryError(
             f"{vm_name} has no workload factory; cannot re-execute")
 
+    # validate every recovery precondition *before* mutating the fabric,
+    # so an impossible rejoin (all replicas dead, condemned machine)
+    # leaves everything resumable for a later attempt
     host = cloud.host_for(vm_name, replica_id)
-    if not host.alive:
-        host.restore()
-
+    if host.condemned:
+        raise RecoveryError(
+            f"{vm_name} r{replica_id}: host {host.host_id} is condemned; "
+            f"in-place rejoin is impossible, evacuate instead "
+            f"(repro.faults.heal)")
     survivor_id = pick_survivor(vm, exclude_replica=replica_id)
     if survivor_id is None:
         raise RecoveryError(
@@ -79,6 +84,9 @@ def rejoin_replica(cloud, vm_name: str, replica_id: int) -> ReplayEngine:
             f"injection schedule (was the fault injector armed with "
             f"record_for_recovery?)")
     recording = vm.recorders[survivor_id].recording
+
+    if not host.alive:
+        host.restore()
 
     engine = ReplayEngine(recording, vm.workload_factory,
                           random.Random(vm.workload_seed), strict=True)
@@ -97,5 +105,8 @@ def rejoin_replica(cloud, vm_name: str, replica_id: int) -> ReplayEngine:
     vm.recorders[replica_id] = ExecutionRecorder(vmm, base=recording)
     vmm.start()
     if vmm.coordination is not None:
-        vmm.coordination.announce_rejoin()
+        # advertise the replay horizon: decisions at or above it that
+        # NAK repair cannot recover are pushed by a live sibling after
+        # config.rejoin_catchup_delay (see coordination docstring)
+        vmm.coordination.announce_rejoin(floor=vmm._net_suppress_floor)
     return engine

@@ -18,6 +18,11 @@ kind               target                   effect
                                             injection schedule
 ``partition_host``  ``"host:<id>"``         machine partitioned off the net
 ``heal_host``       ``"host:<id>"``         partition healed
+``crash_host``      ``"host:<id>"``         machine *condemned*: it dies
+                                            permanently and (with an
+                                            EvacuationController armed) its
+                                            replicas are evacuated onto
+                                            spare capacity
 ``degrade_link``    ``"<src>-><dst>"``      loss/latency/jitter raised
                                             (params: ``loss``, ``latency``,
                                             ``jitter``)
@@ -47,6 +52,7 @@ FAULT_KINDS = (
     "restart_replica",
     "partition_host",
     "heal_host",
+    "crash_host",
     "degrade_link",
     "restore_link",
     "drop_proposals",
@@ -123,22 +129,41 @@ class FaultSchedule:
                replica_targets: Sequence[str],
                host_targets: Sequence[str] = (),
                rate: float = 1.0,
-               recovery_delay: float = 0.5) -> "FaultSchedule":
+               recovery_delay: float = 0.5,
+               crash_hosts: Sequence[str] = (),
+               edge_targets: Sequence[str] = (),
+               max_host_crashes: int = 1,
+               edge_heal_delay: float = 0.4,
+               orphan_probability: float = 0.0) -> "FaultSchedule":
         """Generate a deterministic random campaign.
 
         Draws fault times from a Poisson process of ``rate`` faults per
         second over ``duration``.  Every generated crash is paired with
         a restart ``recovery_delay`` later (capped to the run), so the
         campaign always exercises the recovery path, not just the
-        degraded one.
+        degraded one -- unless ``orphan_probability`` kicks in, which
+        leaves the crash unrestarted so a healer's sustained-suspicion
+        path has something real to chew on.
+
+        ``crash_hosts`` enables *permanent* host loss (``crash_host``,
+        at most ``max_host_crashes`` per storm) and ``edge_targets``
+        enables ingress/egress shard partitions, each healed
+        ``edge_heal_delay`` later.  All three extensions draw from the
+        RNG only when their branch is taken, so a call with the old
+        argument set generates the exact event stream it always did.
         """
         if duration <= 0:
             raise ScheduleError(f"duration must be > 0: {duration}")
         if not replica_targets:
             raise ScheduleError("need at least one replica target")
+        if not 0.0 <= orphan_probability <= 1.0:
+            raise ScheduleError(
+                f"orphan_probability must be in [0, 1]: "
+                f"{orphan_probability}")
         rng = random.Random(seed)
         events: List[FaultEvent] = []
         crashed = set()
+        condemned: set = set()
         t = rng.expovariate(rate)
         while t < duration:
             roll = rng.random()
@@ -149,9 +174,14 @@ class FaultSchedule:
                     target = rng.choice(candidates)
                     crashed.add(target)
                     events.append(FaultEvent(t, "crash_replica", target))
-                    # a restart past `duration` simply never fires
-                    events.append(FaultEvent(t + recovery_delay,
-                                             "restart_replica", target))
+                    if orphan_probability > 0.0 and \
+                            rng.random() < orphan_probability:
+                        pass  # orphaned: only a healer brings it back
+                    else:
+                        # a restart past `duration` simply never fires
+                        events.append(FaultEvent(t + recovery_delay,
+                                                 "restart_replica",
+                                                 target))
             elif roll < 0.7:
                 target = rng.choice(list(replica_targets))
                 events.append(FaultEvent(
@@ -162,6 +192,18 @@ class FaultSchedule:
                 events.append(FaultEvent(
                     t, "delay_dom0", target,
                     {"duration": rng.uniform(0.005, 0.05)}))
+            elif roll < 0.95 and edge_targets:
+                target = rng.choice(list(edge_targets))
+                events.append(FaultEvent(t, "partition_edge", target))
+                events.append(FaultEvent(t + edge_heal_delay,
+                                         "heal_edge", target))
+            elif crash_hosts and len(condemned) < max_host_crashes:
+                candidates = [h for h in crash_hosts
+                              if h not in condemned]
+                if candidates:
+                    target = rng.choice(candidates)
+                    condemned.add(target)
+                    events.append(FaultEvent(t, "crash_host", target))
             t += rng.expovariate(rate)
         return cls(events)
 

@@ -63,6 +63,7 @@ class Host:
         self.vmms = []
         self.peak_residents = 0
         self.alive = True
+        self.condemned = False
         self.network = network
 
     # ------------------------------------------------------------------
@@ -82,10 +83,18 @@ class Host:
         for vmm in self.vmms:
             vmm.fail()
 
+    def condemn(self) -> None:
+        """Permanently decommission this machine: it crashes like
+        :meth:`fail` but is never brought back -- recovery must evacuate
+        its replicas onto spare capacity (see repro.faults.heal)."""
+        self.condemned = True
+        self.fail()
+
     def restore(self) -> None:
         """Power the machine back on: heal the partition.  Crashed VMMs
-        stay down until explicitly recovered (see repro.faults.recovery)."""
-        if self.alive:
+        stay down until explicitly recovered (see repro.faults.recovery).
+        Condemned machines stay dead."""
+        if self.alive or self.condemned:
             return
         self.alive = True
         self.network.restore(self.address)
@@ -131,6 +140,17 @@ class Host:
                               replica=vmm.replica_id,
                               residents=self.residents)
 
+    def detach_vmm(self, vmm) -> None:
+        """Release a guest slot (evacuation moved the replica elsewhere)."""
+        try:
+            self.vmms.remove(vmm)
+        except ValueError:
+            return
+        self.sim.trace.record(self.sim.now, "host.detach",
+                              host=self.host_id, vm=vmm.vm_name,
+                              replica=vmm.replica_id,
+                              residents=self.residents)
+
     def stats(self) -> dict:
         """Placement-load and activity counters as plain data."""
         return {
@@ -139,6 +159,7 @@ class Host:
             "peak_residents": self.peak_residents,
             "capacity": self.capacity,
             "alive": self.alive,
+            "condemned": self.condemned,
             "dom0_busy_total": self.dom0.busy_total,
         }
 

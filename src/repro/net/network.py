@@ -160,6 +160,12 @@ class RealtimeNode:
             )
         self._protocols[protocol] = handler
 
+    def unregister_protocol(self, protocol: str) -> None:
+        """Forget a protocol handler (idempotent).  Evacuation uses this
+        to strip a dead host's replica endpoints so the machine can be
+        reused for a different tenant later."""
+        self._protocols.pop(protocol, None)
+
     # -- dispatch ------------------------------------------------------------
     def _receive(self, packet) -> None:
         handler = self._protocols.get(packet.protocol)

@@ -48,6 +48,28 @@ class PgmSender:
         self._peers = [m for m in self.members if m != host.address]
         host.register_protocol(f"pgm-nak.{group}", self._on_nak)
 
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next ``multicast`` will use."""
+        return self._next_seq
+
+    def replace_member(self, old_addr: str, new_addr: str) -> None:
+        """Swap one group member for another (replica evacuation).
+
+        The stream identity is the *sender*, so sequence numbers keep
+        counting; the new member is expected to join at an agreed
+        ``start_seq`` (see :meth:`PgmReceiver.subscribe`) and NAK-repair
+        anything earlier that it still needs from the retain buffer.
+        """
+        if old_addr not in self.members:
+            raise ValueError(f"{old_addr!r} is not a member of "
+                             f"group {self.group!r}")
+        if new_addr in self.members:
+            raise ValueError(f"{new_addr!r} already a member of "
+                             f"group {self.group!r}")
+        self.members[self.members.index(old_addr)] = new_addr
+        self._peers = [m for m in self.members if m != self.host.address]
+
     def drop_next(self, count: int, purge: bool = False) -> None:
         """Fault hook: swallow the ODATA of the next ``count`` multicasts.
 
@@ -213,13 +235,33 @@ class PgmReceiver:
             self.subscribe(sender_addr, on_data, on_loss)
 
     def subscribe(self, sender_addr: str, on_data: Callable,
-                  on_loss: Optional[Callable] = None) -> None:
-        """Consume the in-order stream from ``sender_addr``."""
+                  on_loss: Optional[Callable] = None,
+                  start_seq: int = 0) -> None:
+        """Consume the in-order stream from ``sender_addr``.
+
+        ``start_seq`` is where the stream cursor begins: an evacuated
+        replica joining a long-lived group subscribes at its replay
+        horizon so the gap back to the sender's current sequence is
+        NAK-repaired from the retain buffer rather than treated as a
+        from-zero stream.
+        """
         if sender_addr in self._streams:
             raise ValueError(f"already subscribed to {sender_addr!r} in "
                              f"group {self.group!r}")
-        self._streams[sender_addr] = _SenderStream(
-            self, sender_addr, on_data, on_loss)
+        if start_seq < 0:
+            raise ValueError(f"start_seq must be >= 0, got {start_seq}")
+        stream = _SenderStream(self, sender_addr, on_data, on_loss)
+        stream.next_seq = start_seq
+        self._streams[sender_addr] = stream
+
+    def unsubscribe(self, sender_addr: str) -> None:
+        """Stop consuming ``sender_addr``'s stream; cancels pending NAKs."""
+        stream = self._streams.pop(sender_addr, None)
+        if stream is None:
+            raise ValueError(f"not subscribed to {sender_addr!r} in "
+                             f"group {self.group!r}")
+        for seq in list(stream.nak_state):
+            stream.cancel_nak(seq)
 
     def _on_packet(self, packet: Packet) -> None:
         datagram: PgmDatagram = packet.payload

@@ -16,8 +16,15 @@ dom0 endpoints.  Message kinds:
   epoch resynchronisation sample.
 - ``("heartbeat", replica_id)`` -- failure-detection liveness beacon
   (only with ``config.failure_detection``).
-- ``("rejoin", replica_id)`` -- a recovered replica announcing that it
-  is live again and will participate in future agreements.
+- ``("rejoin", replica_id[, floor])`` -- a recovered replica announcing
+  that it is live again and will participate in future agreements.  The
+  optional ``floor`` is its ingress-sequence replay horizon: decisions at
+  or above it may never reach the rejoiner (they were addressed to its
+  old incarnation), so the lowest-id live sibling schedules a delayed
+  catch-up push of its cached decisions from ``floor`` upward.  The
+  delay (``config.rejoin_catchup_delay``) exceeds the NAK repair window,
+  so the lossless ODATA/RDATA path wins whenever it can and the push is
+  a deduplicated no-op; it matters only for gaps repair cannot close.
 
 Failure detection and degraded operation
 ----------------------------------------
@@ -60,7 +67,8 @@ class ReplicaCoordination:
     """One replica's view of its VM's coordination group."""
 
     def __init__(self, sim, vmm, host, sibling_addresses: Dict[int, str],
-                 lead_boundaries: int):
+                 lead_boundaries: int,
+                 sibling_start_seqs: Optional[Dict[int, int]] = None):
         self.sim = sim
         self.vmm = vmm
         self.host = host
@@ -74,11 +82,13 @@ class ReplicaCoordination:
         members = [host.address] + list(sibling_addresses.values())
         self.sender = PgmSender(host.node, group, members)
         self.receiver = PgmReceiver(host.node, group)
+        start_seqs = sibling_start_seqs or {}
         for rid, address in sibling_addresses.items():
             self.receiver.subscribe(
                 address,
                 lambda message, seq, r=rid: self._on_message(r, message),
-                on_loss=lambda seq, r=rid: self._on_stream_loss(r, seq))
+                on_loss=lambda seq, r=rid: self._on_stream_loss(r, seq),
+                start_seq=start_seqs.get(rid, 0))
         host.node.register_protocol(f"coord-decided.{self.vm_name}",
                                     self._on_decided)
 
@@ -121,6 +131,25 @@ class ReplicaCoordination:
 
     def is_live(self, replica_id: int) -> bool:
         return self.live.get(replica_id, False)
+
+    def rewire_sibling(self, replica_id: int, new_address: str) -> None:
+        """An evacuation moved ``replica_id`` to ``new_address``: swap the
+        multicast membership and start a fresh receive stream (the new
+        incarnation's sender counts from zero)."""
+        old_address = self.sibling_addresses.get(replica_id)
+        if old_address is None:
+            raise ValueError(f"{self.vm_name} r{self.replica_id}: no "
+                             f"sibling {replica_id}")
+        if old_address == new_address:
+            return
+        self.sibling_addresses[replica_id] = new_address
+        self.sender.replace_member(old_address, new_address)
+        self.receiver.unsubscribe(old_address)
+        self.receiver.subscribe(
+            new_address,
+            lambda message, seq, r=replica_id: self._on_message(r, message),
+            on_loss=lambda seq, r=replica_id: self._on_stream_loss(r, seq))
+        self.last_heard[replica_id] = self.sim.now
 
     # ------------------------------------------------------------------
     # proposals / median agreement
@@ -344,7 +373,8 @@ class ReplicaCoordination:
             self.on_suspect(replica_id)
         self._reevaluate_view()
 
-    def _mark_rejoined(self, replica_id: int) -> None:
+    def _mark_rejoined(self, replica_id: int,
+                       floor: Optional[int] = None) -> None:
         if self.live.get(replica_id, True):
             return
         self.live[replica_id] = True
@@ -353,17 +383,56 @@ class ReplicaCoordination:
         self.sim.trace.record(self.sim.now, "recovery.rejoin",
                               vm=self.vm_name, observer=self.replica_id,
                               replica=replica_id)
+        if floor is not None and self._catchup_pusher(replica_id):
+            self.sim.call_after(self.vmm.config.rejoin_catchup_delay,
+                                self._push_decisions, replica_id, floor)
         if self.on_rejoin is not None:
             self.on_rejoin(replica_id)
         self._reevaluate_view()
 
-    def announce_rejoin(self) -> None:
+    def _catchup_pusher(self, rejoiner: int) -> bool:
+        """Exactly one live sibling owns the catch-up push: the lowest
+        id among those each observer believes alive (including itself).
+        Split views can elect two pushers; duplicates dedupe at the
+        receiver, so that costs packets, not correctness."""
+        live_ids = [self.replica_id] + [
+            rid for rid, ok in self.live.items()
+            if ok and rid != rejoiner]
+        return self.replica_id == min(live_ids)
+
+    def _push_decisions(self, replica_id: int, floor: int) -> None:
+        """Backstop for a rejoined replica's unrepairable gaps: unicast
+        every cached decision at or above its replay horizon.  Runs
+        after the NAK repair window, so anything the lossless path
+        already delivered is ignored by the receiver's decision cache."""
+        if self.vmm.failed or not self.host.alive:
+            return
+        if not self.live.get(replica_id, False):
+            return  # re-suspected before the push fired
+        pending = sorted(seq for seq in self._decisions if seq >= floor)
+        if not pending:
+            return
+        self.sim.metrics.incr("heal.catchup_pushes")
+        self.sim.trace.record(self.sim.now, "heal.catchup",
+                              vm=self.vm_name, observer=self.replica_id,
+                              replica=replica_id, floor=floor,
+                              count=len(pending))
+        for seq in pending:
+            self._send_decided(replica_id, seq)
+
+    def announce_rejoin(self, floor: Optional[int] = None) -> None:
         """Called on a recovered replica once its state is rebuilt: tell
-        the siblings, reset our own (stale) view, restart detection."""
+        the siblings, reset our own (stale) view, restart detection.
+        ``floor`` is the replay horizon (first ingress seq this replica
+        has not executed); advertising it lets a sibling push decisions
+        the rejoiner can no longer receive first-hand."""
         for rid in self.live:
             self.live[rid] = True
             self.last_heard[rid] = self.sim.now
-        self.sender.multicast(("rejoin", self.replica_id))
+        if floor is None:
+            self.sender.multicast(("rejoin", self.replica_id))
+        else:
+            self.sender.multicast(("rejoin", self.replica_id, floor))
         if self.detection_enabled:
             self._start_detection()
 
@@ -442,7 +511,8 @@ class ReplicaCoordination:
         elif kind == "heartbeat":
             pass  # the last_heard update above is the whole point
         elif kind == "rejoin":
-            _, replica_id = message
-            self._mark_rejoined(replica_id)
+            replica_id = message[1]
+            floor = message[2] if len(message) > 2 else None
+            self._mark_rejoined(replica_id, floor)
         else:
             raise ValueError(f"unknown coordination message kind {kind!r}")

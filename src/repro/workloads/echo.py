@@ -56,12 +56,37 @@ class PingClient:
     ``spacing_fn(rng)`` draws each inter-ping gap (seconds); default is
     exponential with the given mean, matching the paper's modelling of
     packet inter-arrivals.
+
+    Edge robustness (all opt-in; the default ``timeout=None`` schedules
+    no timers and draws no randomness, so historical runs stay
+    byte-identical): with a ``timeout`` each ping arms a per-tag timer;
+    on expiry the same tag is retransmitted up to ``max_retries`` times
+    with exponential backoff (``backoff_base * backoff_factor**attempt``)
+    plus seeded jitter from the client node's RNG, so a partitioned-edge
+    window degrades into late replies instead of silently lost flows.
+    Duplicate replies (the original raced the retry) are counted, not
+    double-recorded.
     """
 
     def __init__(self, client_node, target_addr: str,
                  mean_interval: float = 0.020,
                  spacing_fn: Optional[Callable] = None,
-                 local_port: int = 9100):
+                 local_port: int = 9100,
+                 timeout: Optional[float] = None,
+                 max_retries: int = 3,
+                 backoff_base: float = 0.05,
+                 backoff_factor: float = 2.0,
+                 jitter_frac: float = 0.25):
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base <= 0 or backoff_factor < 1.0:
+            raise ValueError("backoff_base must be > 0 and "
+                             "backoff_factor >= 1")
+        if not 0.0 <= jitter_frac <= 1.0:
+            raise ValueError(f"jitter_frac must be in [0, 1], "
+                             f"got {jitter_frac}")
         self.node = client_node
         self.target_addr = target_addr
         self.mean_interval = mean_interval
@@ -69,8 +94,18 @@ class PingClient:
         self.udp = UdpStack(client_node)
         self.udp.bind(local_port, self._on_reply)
         self.local_port = local_port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.jitter_frac = jitter_frac
         self.sent = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.gave_up = 0
+        self.duplicates = 0
         self.reply_times: List[float] = []
+        self._outstanding: dict = {}    # tag -> timer handle
         self._running = False
 
     def start(self) -> None:
@@ -79,12 +114,26 @@ class PingClient:
 
     def stop(self) -> None:
         self._running = False
+        for timer in self._outstanding.values():
+            timer.cancel()
+        self._outstanding.clear()
+
+    @property
+    def outstanding(self) -> int:
+        """Pings awaiting a reply (only tracked with a timeout set)."""
+        return len(self._outstanding)
+
+    def _transmit(self, tag: int, attempt: int) -> None:
+        self.udp.send(self.target_addr, self.local_port, ECHO_PORT,
+                      data_len=64, tag=tag)
+        if self.timeout is not None:
+            self._outstanding[tag] = self.node.schedule(
+                self.timeout, self._on_timeout, tag, attempt)
 
     def _send_next(self) -> None:
         if not self._running:
             return
-        self.udp.send(self.target_addr, self.local_port, ECHO_PORT,
-                      data_len=64, tag=self.sent)
+        self._transmit(self.sent, 0)
         self.sent += 1
         if self.spacing_fn is not None:
             gap = self.spacing_fn(self.node.rng)
@@ -92,5 +141,34 @@ class PingClient:
             gap = self.node.rng.expovariate(1.0 / self.mean_interval)
         self.node.schedule(gap, self._send_next)
 
+    def _on_timeout(self, tag: int, attempt: int) -> None:
+        if tag not in self._outstanding:
+            return
+        del self._outstanding[tag]
+        self.timeouts += 1
+        if not self._running:
+            return
+        if attempt >= self.max_retries:
+            self.gave_up += 1
+            return
+        backoff = self.backoff_base * self.backoff_factor ** attempt
+        if self.jitter_frac > 0.0:
+            backoff *= 1.0 + self.jitter_frac * self.node.rng.random()
+        self.retries += 1
+        self.node.schedule(backoff, self._retransmit, tag, attempt + 1)
+
+    def _retransmit(self, tag: int, attempt: int) -> None:
+        if not self._running:
+            return
+        self._transmit(tag, attempt)
+
     def _on_reply(self, datagram, src: str) -> None:
+        if self.timeout is None:
+            self.reply_times.append(self.node.now())
+            return
+        timer = self._outstanding.pop(datagram.tag, None)
+        if timer is None:
+            self.duplicates += 1   # original raced a retry, or late reply
+            return
+        timer.cancel()
         self.reply_times.append(self.node.now())

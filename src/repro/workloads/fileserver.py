@@ -79,33 +79,113 @@ class FileServer(GuestWorkload):
 
 
 class HttpDownloader:
-    """Client driver: downloads files over TCP and records latencies."""
+    """Client driver: downloads files over TCP and records latencies.
+
+    Edge robustness mirrors :class:`~repro.workloads.echo.PingClient`
+    and is opt-in: with ``timeout=None`` (default) no timers are armed
+    and no randomness is drawn, so historical runs stay byte-identical.
+    With a ``timeout``, a download that has not completed in time
+    abandons its connection and reconnects from scratch, up to
+    ``max_retries`` times with exponential backoff plus seeded jitter;
+    the recorded latency still covers first-connect-to-last-byte, so
+    retries show up as a fat tail rather than vanishing flows.
+    """
 
     def __init__(self, client_node, server_addr: str,
-                 port: int = HTTP_PORT):
+                 port: int = HTTP_PORT,
+                 timeout: Optional[float] = None,
+                 max_retries: int = 3,
+                 backoff_base: float = 0.05,
+                 backoff_factor: float = 2.0,
+                 jitter_frac: float = 0.25):
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base <= 0 or backoff_factor < 1.0:
+            raise ValueError("backoff_base must be > 0 and "
+                             "backoff_factor >= 1")
+        if not 0.0 <= jitter_frac <= 1.0:
+            raise ValueError(f"jitter_frac must be in [0, 1], "
+                             f"got {jitter_frac}")
         self.node = client_node
         self.server_addr = server_addr
         self.port = port
         self.tcp = TcpStack(client_node)
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.jitter_frac = jitter_frac
+        self.timeouts = 0
+        self.retries = 0
+        self.gave_up = 0
         self.latencies: List[float] = []
 
     def download(self, size: int,
-                 on_done: Optional[Callable] = None) -> None:
-        """Fetch a ``size``-byte file; latency covers connect-to-last-byte."""
-        started = self.node.now()
+                 on_done: Optional[Callable] = None,
+                 on_fail: Optional[Callable] = None) -> None:
+        """Fetch a ``size``-byte file; latency covers connect-to-last-byte.
+
+        ``on_fail(size)`` fires if every retry is exhausted (only
+        reachable with a ``timeout`` set)."""
+        state = {"started": self.node.now(), "done": False,
+                 "timer": None, "conn": None}
+        self._attempt(state, size, on_done, on_fail, 0)
+
+    def _attempt(self, state: dict, size: int, on_done, on_fail,
+                 attempt: int) -> None:
         conn = self.tcp.connect(self.server_addr, self.port)
+        state["conn"] = conn
 
         def on_message(tag, end):
+            # a stale connection (abandoned by a timeout) may still
+            # drain its in-flight bytes; only the live attempt counts
+            if state["done"] or state["conn"] is not conn:
+                return
             if tag is not None and tag[0] == "FILE":
-                latency = self.node.now() - started
+                state["done"] = True
+                if state["timer"] is not None:
+                    state["timer"].cancel()
+                latency = self.node.now() - state["started"]
                 self.latencies.append(latency)
                 conn.close()
                 if on_done is not None:
                     on_done(latency)
 
+        def on_connect():
+            # a timed-out attempt may complete its handshake late;
+            # sending on the abandoned (closed) connection would raise
+            if state["done"] or state["conn"] is not conn:
+                return
+            conn.send_message(200, tag=("GET", size))
+
         conn.on_message = on_message
-        conn.on_connect = lambda: conn.send_message(
-            200, tag=("GET", size))
+        conn.on_connect = on_connect
+        if self.timeout is not None:
+            state["timer"] = self.node.schedule(
+                self.timeout, self._on_timeout, state, size,
+                on_done, on_fail, attempt)
+
+    def _on_timeout(self, state: dict, size: int, on_done, on_fail,
+                    attempt: int) -> None:
+        if state["done"]:
+            return
+        self.timeouts += 1
+        state["conn"].close()
+        state["conn"] = None    # disowns late handshakes/bytes
+        if attempt >= self.max_retries:
+            state["done"] = True
+            self.gave_up += 1
+            if on_fail is not None:
+                on_fail(size)
+            return
+        backoff = self.backoff_base * self.backoff_factor ** attempt
+        if self.jitter_frac > 0.0:
+            backoff *= 1.0 + self.jitter_frac * self.node.rng.random()
+        self.retries += 1
+        self.node.schedule(backoff, self._attempt, state, size,
+                           on_done, on_fail, attempt + 1)
 
 
 class UdpFileServer(GuestWorkload):

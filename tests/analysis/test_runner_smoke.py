@@ -35,6 +35,8 @@ MINIMAL_KWARGS = {
     "scale_sweep": {"tenant_counts": (1,), "duration": 1.0,
                     "request_rate": 30.0},
     "kernel_bench": {"tenants": 1, "duration": 0.5, "repeats": 1},
+    "chaos_cell": {"scenario": "single", "duration": 2.2,
+                   "rate": 1.0, "check_determinism": False},
 }
 
 
@@ -61,6 +63,10 @@ def test_every_runner_has_a_smoke_entry():
 @pytest.mark.parametrize("name", sorted(RUNNERS))
 def test_runner_returns_nonempty_finite_rows(name):
     result = RUNNERS[name](**MINIMAL_KWARGS[name])
+    if name == "chaos_cell":
+        # list fields are empty precisely when the cell is healthy
+        result = {key: value for key, value in result.items()
+                  if value != []}
     _assert_finite(result)
     if isinstance(result, list):
         # tabular runners: consistent row widths

@@ -89,13 +89,16 @@ class TestInjection:
         sim.run(until=0.4)
         assert (link.loss, link.latency) == original
 
-    def test_restore_link_without_degrade_rejected(self):
+    def test_restore_link_without_degrade_is_noop(self):
         sim, cloud, _ = make_cloud()
         injector = FaultInjector(cloud, FaultSchedule.from_entries(
             [(0.1, "restore_link", "host:0->host:1")]))
         injector.arm()
-        with pytest.raises(InjectionError):
-            sim.run(until=0.5)
+        sim.run(until=0.5)   # randomized storms must survive this
+        (noop,) = sim.trace.select("fault.noop")
+        assert noop.payload["fault"] == "restore_link"
+        assert "never degraded" in noop.payload["reason"]
+        assert len(injector.applied) == 1
 
     def test_drop_proposals_swallows_multicasts(self):
         sim, cloud, vm = make_cloud()
@@ -185,3 +188,84 @@ class TestEdgeFaults:
         injector.arm()
         with pytest.raises(InjectionError):
             sim.run(until=0.5)
+
+
+class TestPermanentFaults:
+    def test_crash_host_condemns_permanently(self):
+        sim, cloud, vm = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries(
+            [(0.1, "crash_host", "host:1")]))
+        injector.arm()
+        cloud.run(until=0.5)
+        host = cloud.hosts[1]
+        assert host.condemned and not host.alive
+        assert vm.vmms[1].failed
+        host.restore()          # condemned machines never come back
+        assert not host.alive
+        (record,) = sim.trace.select("fault.condemn")
+        assert record.payload["host"] == 1
+
+    def test_recondemning_a_host_is_noop(self):
+        sim, cloud, _ = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries([
+            (0.1, "crash_host", "host:1"),
+            (0.3, "crash_host", "host:1"),
+        ]))
+        injector.arm()
+        cloud.run(until=0.5)
+        (noop,) = sim.trace.select("fault.noop")
+        assert noop.payload["fault"] == "crash_host"
+        assert "already condemned" in noop.payload["reason"]
+        assert len(injector.applied) == 2
+
+    def test_crash_replica_on_dead_host_is_noop(self):
+        sim, cloud, _ = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries([
+            (0.1, "crash_replica", "echo:1"),
+            (0.3, "crash_replica", "echo:1"),
+        ]))
+        injector.arm()
+        cloud.run(until=0.5)
+        (noop,) = sim.trace.select("fault.noop")
+        assert noop.payload["fault"] == "crash_replica"
+        assert "already down" in noop.payload["reason"]
+
+    def test_heal_host_refuses_condemned_machine(self):
+        sim, cloud, _ = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries([
+            (0.1, "crash_host", "host:1"),
+            (0.3, "heal_host", "host:1"),
+        ]))
+        injector.arm()
+        cloud.run(until=0.5)
+        (noop,) = sim.trace.select("fault.noop")
+        assert noop.payload["fault"] == "heal_host"
+        assert "condemned" in noop.payload["reason"]
+        assert not cloud.hosts[1].alive
+
+
+class TestAllReplicasDead:
+    def test_restart_with_no_survivor_noops_and_fabric_resumes(self):
+        # regression: a randomized storm can kill all three replicas
+        # before any restart fires; the rejoin must surface a typed
+        # RecoveryError (not crash the event loop) and leave the
+        # fabric resumable
+        sim, cloud, vm = make_cloud()
+        injector = FaultInjector(cloud, FaultSchedule.from_entries([
+            (0.1, "crash_replica", "echo:0"),
+            (0.15, "crash_replica", "echo:1"),
+            (0.2, "crash_replica", "echo:2"),
+            (0.6, "restart_replica", "echo:1"),
+        ]))
+        injector.arm()
+        cloud.run(until=1.0)     # must not raise
+        (noop,) = sim.trace.select("fault.noop")
+        assert noop.payload["fault"] == "restart_replica"
+        assert "no live survivor" in noop.payload["reason"]
+        assert all(vmm.failed for vmm in vm.vmms)
+        assert len(injector.applied) == 4
+        # the loop is still serviceable after the failed rejoin
+        fired = []
+        sim.call_after(0.2, lambda: fired.append(sim.now))
+        sim.run(until=1.5)
+        assert fired

@@ -1,0 +1,114 @@
+"""Property test (satellite): remove/re-place churn is exactly
+reversible.
+
+Evacuation leans on the scheduler doing ``remove`` + ``place_at`` mid
+run; if either leaks an edge or a load count, the fleet's accounting
+drifts and later placements are wrongly rejected (or wrongly allowed).
+The property: after any interleaving of placements, removals and
+re-placements, removing a VM restores ``load_of``/``coresidents_of``/
+``verify()`` to the exact pre-placement state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placement.scheduler import PlacementError, PlacementScheduler
+
+MACHINES = 15
+CAPACITY = 4
+
+
+def snapshot(scheduler):
+    return {
+        "load": {m: scheduler.load_of(m) for m in range(MACHINES)},
+        "edges": set(scheduler._used_edges),
+        "assignments": dict(scheduler.assignments),
+        "coresidents": {vm: scheduler.coresidents_of(vm)
+                        for vm in scheduler.assignments},
+    }
+
+
+def apply_ops(scheduler, ops):
+    """Drive the scheduler through a churn script; every op keeps the
+    book legal, so verify() must hold after each step."""
+    evicted = []   # (vm_id, triangle) pairs available for re-placement
+    placed = 0
+    for kind, index in ops:
+        if kind == "place":
+            try:
+                scheduler.place(f"vm{placed}")
+                placed += 1
+            except PlacementError:
+                pass   # pool exhausted; churn continues
+        elif kind == "remove" and scheduler.assignments:
+            vm = sorted(scheduler.assignments)[
+                index % len(scheduler.assignments)]
+            evicted.append((vm, scheduler.assignments[vm]))
+            scheduler.remove(vm)
+        elif kind == "replace" and evicted:
+            vm, triangle = evicted.pop(index % len(evicted))
+            scheduler.place_at(vm, triangle)
+        assert scheduler.verify()
+    return placed
+
+
+churn_ops = st.lists(
+    st.tuples(st.sampled_from(["place", "remove", "replace"]),
+              st.integers(min_value=0, max_value=10 ** 6)),
+    min_size=1, max_size=40)
+
+
+class TestChurnProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=churn_ops, probe=st.integers(min_value=0,
+                                            max_value=10 ** 6))
+    def test_remove_restores_exact_accounting(self, ops, probe):
+        scheduler = PlacementScheduler(MACHINES, CAPACITY)
+        apply_ops(scheduler, ops)
+        if not scheduler.assignments:
+            return
+        before = snapshot(scheduler)
+        victim = sorted(scheduler.assignments)[
+            probe % len(scheduler.assignments)]
+        triangle = scheduler.assignments[victim]
+
+        scheduler.remove(victim)
+        assert victim not in scheduler.assignments
+        assert scheduler.verify()
+        # the freed slots really are free again
+        for node in triangle:
+            assert scheduler.load_of(node) == before["load"][node] - 1
+
+        scheduler.place_at(victim, triangle)
+        assert snapshot(scheduler) == before
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=churn_ops)
+    def test_churn_never_breaks_global_invariants(self, ops):
+        scheduler = PlacementScheduler(MACHINES, CAPACITY)
+        apply_ops(scheduler, ops)
+        # loads reconcile with assignments exactly
+        expected = {m: 0 for m in range(MACHINES)}
+        for triangle in scheduler.assignments.values():
+            for node in triangle:
+                expected[node] += 1
+        assert {m: scheduler.load_of(m)
+                for m in range(MACHINES)} == expected
+        # coresidency is symmetric
+        for vm in scheduler.assignments:
+            for other in scheduler.coresidents_of(vm):
+                assert vm in scheduler.coresidents_of(other)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=churn_ops, seed_vms=st.integers(min_value=1, max_value=6))
+    def test_full_teardown_returns_to_pristine(self, ops, seed_vms):
+        scheduler = PlacementScheduler(MACHINES, CAPACITY)
+        for i in range(seed_vms):
+            scheduler.place(f"seed{i}")
+        apply_ops(scheduler, ops)
+        for vm in sorted(scheduler.assignments):
+            scheduler.remove(vm)
+        assert scheduler.assignments == {}
+        assert not scheduler._used_edges
+        assert all(scheduler.load_of(m) == 0 for m in range(MACHINES))
+        assert scheduler.verify()

@@ -1,0 +1,162 @@
+"""Client retry/backoff (tentpole edge robustness).
+
+The knobs are strictly opt-in: ``timeout=None`` (the default) arms no
+timers and draws no randomness, so every historical scenario replays
+byte-identically.  With a timeout set, a partitioned edge degrades into
+late-but-answered requests instead of silently lost flows.
+"""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.core import PASSTHROUGH, RESILIENT
+from repro.faults import FaultInjector, FaultSchedule
+from repro.sim import Simulator, Trace
+from repro.workloads import (
+    EchoServer,
+    FileServer,
+    HttpDownloader,
+    PingClient,
+)
+
+FAST_DISK = {"disk_kwargs": {"seek_min": 0.001, "seek_max": 0.003,
+                             "per_block": 2e-5}}
+
+CONFIG = RESILIENT.with_overrides(egress_stale_timeout=0.8)
+
+#: replies are dropped while the egress shard is dark
+EGRESS_PARTITION = [(0.5, "partition_edge", "egress:echo"),
+                    (0.9, "heal_edge", "egress:echo")]
+
+
+def run_pings(timeout, entries=(), seed=17, until=3.0, stop=2.0,
+              **kwargs):
+    sim = Simulator(seed=seed, trace=Trace(enabled=False))
+    cloud = Cloud(sim, machines=3, config=CONFIG)
+    cloud.create_vm("echo", EchoServer)
+    client = cloud.add_client("client:1")
+    pinger = PingClient(client, "vm:echo", local_port=9000,
+                        spacing_fn=lambda rng: 0.040,
+                        timeout=timeout, **kwargs)
+    sim.call_after(0.05, pinger.start)
+    sim.call_after(stop, pinger.stop)
+    if entries:
+        FaultInjector(cloud, FaultSchedule.from_entries(entries)).arm()
+    cloud.run(until=until)
+    return pinger
+
+
+class TestPingClientKnobs:
+    def test_bad_knobs_rejected(self):
+        sim = Simulator(seed=1, trace=Trace(enabled=False))
+        cloud = Cloud(sim, machines=3, config=PASSTHROUGH)
+        cloud.create_vm("echo", EchoServer)
+        client = cloud.add_client("client:1")
+        for bad in ({"timeout": 0.0}, {"timeout": -1.0},
+                    {"max_retries": -1}, {"backoff_base": 0.0},
+                    {"backoff_factor": 0.5}, {"jitter_frac": 1.5}):
+            with pytest.raises(ValueError):
+                PingClient(client, "vm:echo", **bad)
+
+    def test_default_is_off(self):
+        pinger = run_pings(None)
+        assert pinger.timeout is None
+        assert pinger.retries == pinger.timeouts == pinger.gave_up == 0
+        assert pinger.outstanding == 0
+
+
+class TestRetryUnderPartition:
+    def test_no_timeout_loses_the_partition_window(self):
+        pinger = run_pings(None, entries=EGRESS_PARTITION)
+        # replies emitted into the dark egress window are gone for good
+        assert len(pinger.reply_times) < pinger.sent
+        assert pinger.retries == 0
+
+    def test_retry_recovers_the_partition_window(self):
+        pinger = run_pings(0.2, entries=EGRESS_PARTITION,
+                           max_retries=4)
+        assert pinger.timeouts > 0
+        assert pinger.retries > 0
+        assert pinger.gave_up == 0
+        # every ping eventually answered (late, via retransmission)
+        assert len(pinger.reply_times) == pinger.sent
+        assert pinger.outstanding == 0
+
+    def test_retries_are_bounded(self):
+        # never heal: the client must give up after max_retries, not
+        # retransmit forever
+        pinger = run_pings(0.2, entries=[EGRESS_PARTITION[0]],
+                           max_retries=2, until=4.0)
+        assert pinger.gave_up > 0
+        assert pinger.outstanding == 0
+        # timeouts per tag <= initial attempt + max_retries
+        assert pinger.timeouts <= pinger.sent * 3
+
+    def test_same_seed_retry_stream_is_deterministic(self):
+        first = run_pings(0.2, entries=EGRESS_PARTITION)
+        second = run_pings(0.2, entries=EGRESS_PARTITION)
+        assert first.reply_times == second.reply_times
+        assert (first.sent, first.retries, first.timeouts,
+                first.gave_up) == (second.sent, second.retries,
+                                   second.timeouts, second.gave_up)
+
+    def test_arming_timers_does_not_perturb_delivery(self):
+        # a timeout larger than any reply latency never fires: the
+        # observable stream must match the feature-off run exactly
+        off = run_pings(None)
+        armed = run_pings(5.0)
+        assert armed.reply_times == off.reply_times
+        assert armed.retries == armed.timeouts == 0
+
+
+class TestDownloaderRetry:
+    def run_download(self, timeout, entries=(), seed=5, until=8.0,
+                     **kwargs):
+        sim = Simulator(seed=seed, trace=Trace(enabled=False))
+        cloud = Cloud(sim, machines=3, config=CONFIG,
+                      host_kwargs=FAST_DISK)
+        cloud.create_vm("web", FileServer)
+        client = cloud.add_client("client:1")
+        downloader = HttpDownloader(client, "vm:web", timeout=timeout,
+                                    **kwargs)
+        done, failed = [], []
+        sim.call_after(0.05, downloader.download, 20_000,
+                       done.append, failed.append)
+        if entries:
+            FaultInjector(cloud,
+                          FaultSchedule.from_entries(entries)).arm()
+        cloud.run(until=until)
+        return downloader, done, failed
+
+    def test_bad_knobs_rejected(self):
+        sim = Simulator(seed=1, trace=Trace(enabled=False))
+        cloud = Cloud(sim, machines=3, config=PASSTHROUGH)
+        cloud.create_vm("web", FileServer)
+        client = cloud.add_client("client:1")
+        with pytest.raises(ValueError):
+            HttpDownloader(client, "vm:web", timeout=-0.5)
+
+    def test_retry_completes_through_dark_window(self):
+        entries = [(0.1, "partition_edge", "egress:web"),
+                   (0.9, "heal_edge", "egress:web")]
+        downloader, done, failed = self.run_download(
+            0.3, entries=entries, max_retries=5)
+        assert done and not failed
+        assert downloader.retries > 0
+        assert downloader.gave_up == 0
+
+    def test_gives_up_when_edge_never_heals(self):
+        entries = [(0.1, "partition_edge", "egress:web")]
+        downloader, done, failed = self.run_download(
+            0.3, entries=entries, max_retries=2)
+        assert failed == [20_000]
+        assert not done
+        assert downloader.gave_up == 1
+        assert downloader.retries == 2
+
+    def test_no_timeout_hangs_without_failing(self):
+        entries = [(0.1, "partition_edge", "egress:web")]
+        downloader, done, failed = self.run_download(
+            None, entries=entries)
+        assert not done and not failed
+        assert downloader.retries == downloader.gave_up == 0
