@@ -469,7 +469,16 @@ def _register_chaos_runner() -> None:
     RUNNERS["chaos_cell"] = run_chaos_cell
 
 
+def _register_mitigation_runner() -> None:
+    from repro.analysis.mitigation import (mitigation_frontier,
+                                           run_mitigation_cell)
+
+    RUNNERS["mitigation_cell"] = run_mitigation_cell
+    RUNNERS["mitigation_frontier"] = mitigation_frontier
+
+
 _register_flow_runner()
 _register_scale_runner()
 _register_bench_runner()
 _register_chaos_runner()
+_register_mitigation_runner()

@@ -13,6 +13,10 @@
 - :mod:`repro.attacks.collab` -- Sec. IX's collaborating attackers:
   a second attacker VM loads one replica host to marginalise it from
   the median.
+- :mod:`repro.attacks.probes` -- policy-parameterised coresidency and
+  IO-clock probes for the mitigation frontier (``repro mitigate``).
+- :mod:`repro.attacks.scheduler` -- the scheduler-theft beacon probe
+  (Zhou et al.'s cycle-stealing measurement) against any policy.
 """
 
 from repro.attacks.clocks import ClockObserver, ClockSample
@@ -23,6 +27,21 @@ from repro.attacks.sidechannel import (
 )
 from repro.attacks.covert import CovertChannelResult, run_covert_channel
 from repro.attacks.collab import CollabResult, run_collab_experiment
+from repro.attacks.probes import (
+    AttackResult,
+    run_coresidency_probe,
+    run_clock_probe,
+)
+from repro.attacks.scheduler import TheftProbe, run_scheduler_theft
+
+#: attack name -> runner, the suite ``repro mitigate`` sweeps.  Every
+#: runner shares the signature ``(policy=..., duration=..., seed=...,
+#: workload=..., **knobs) -> AttackResult``.
+ATTACK_SUITE = {
+    "probe": run_coresidency_probe,
+    "theft": run_scheduler_theft,
+    "clocks": run_clock_probe,
+}
 
 __all__ = [
     "ClockObserver",
@@ -34,4 +53,10 @@ __all__ = [
     "run_covert_channel",
     "CollabResult",
     "run_collab_experiment",
+    "AttackResult",
+    "run_coresidency_probe",
+    "run_clock_probe",
+    "TheftProbe",
+    "run_scheduler_theft",
+    "ATTACK_SUITE",
 ]

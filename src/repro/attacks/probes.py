@@ -1,0 +1,278 @@
+"""Policy-parameterised attack probes for the mitigation frontier.
+
+Where :mod:`repro.attacks.sidechannel` reproduces the paper's Fig. 4
+pair (unmodified Xen vs StopWatch), these probes take an arbitrary
+:class:`~repro.mitigation.MitigationPolicy` and run the same
+coresidency question under it, so ``repro mitigate`` can sweep the
+whole policy family over one attack suite.
+
+Each probe runs two conditions -- victim *absent* and victim
+*present* (coresident with the attacker) -- and returns the attacker's
+observable under each, as an :class:`AttackResult`.  Leakage is then
+the mutual information between the condition bit and one observation
+(:mod:`repro.stats.mi`); the victim's client latencies in the present
+condition are the overhead axis.
+
+Probes in this module observe from *outside* the cloud (the vantage the
+paper's threat model cares most about):
+
+- :func:`run_coresidency_probe` -- a colluding external client pings
+  the attacker VM and measures inter-reply gaps in real time.  This is
+  the probing attack of Zhou et al.'s co-residency detection, pointed
+  at whatever release discipline the egress policy enforces.
+- :func:`run_clock_probe` -- the attacker guest itself timestamps its
+  network interrupts with its RT clock (Wray's IO-vs-RT comparison),
+  testing the *inbound* injection discipline rather than egress.
+
+:mod:`repro.attacks.scheduler` adds the scheduler-theft beacon probe.
+"""
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.attacks.clocks import ClockObserver
+from repro.cloud.fabric import Cloud
+from repro.core.config import DEFAULT, StopWatchConfig
+from repro.mitigation import MitigationPolicy, resolve_policy
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Trace
+from repro.workloads.echo import EchoServer, PingClient
+from repro.workloads.fileserver import FileServer, HttpDownloader
+
+VICTIM_WORKLOADS = ("fileserver", "echo")
+
+
+class RttPingClient(PingClient):
+    """A :class:`PingClient` that also records per-ping round trips.
+
+    Inter-reply *gaps* are dominated by the sender's own exponential
+    pacing; the round-trip time strips that self-noise out and measures
+    exactly what coresidency perturbs -- the attacker VM's service
+    time.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._send_times: Dict[int, float] = {}
+        self.rtts: List[float] = []
+
+    def _transmit(self, tag: int, attempt: int) -> None:
+        self._send_times.setdefault(tag, self.node.now())
+        super()._transmit(tag, attempt)
+
+    def _on_reply(self, datagram, src: str) -> None:
+        sent = self._send_times.pop(datagram.tag, None)
+        if sent is not None:
+            self.rtts.append(self.node.now() - sent)
+        super()._on_reply(datagram, src)
+
+
+class AttackResult(NamedTuple):
+    """One attack's observables under both coresidency conditions."""
+
+    attack: str
+    policy: str
+    samples_absent: List[float]    # attacker observable, victim absent
+    samples_present: List[float]   # attacker observable, victim present
+    latencies: List[float]         # victim client latencies (present run)
+    meta: Dict[str, float]
+
+    def leakage_bits(self, bins: int = 10) -> float:
+        """Miller-Madow-corrected MI between coresidency and one
+        observation, in bits."""
+        from repro.stats.mi import mi_bits
+        return mi_bits([self.samples_absent, self.samples_present],
+                       bins=bins)
+
+    def leakage(self, bins: int = 10) -> dict:
+        """The full MI/capacity summary (:func:`repro.stats.mi
+        .leakage_summary`)."""
+        from repro.stats.mi import leakage_summary
+        return leakage_summary(
+            [self.samples_absent, self.samples_present], bins=bins)
+
+
+def _policy_cell(policy, seed: int,
+                 base_config: StopWatchConfig = DEFAULT,
+                 host_kwargs: Optional[dict] = None):
+    """One condition's cloud under ``policy``: simulator, fabric, and
+    the attacker/victim host pinning.
+
+    Multi-replica policies get the Fig. 4 layout (5 machines, attacker
+    on 0-2, victim on 0,3,4 -- exactly one shared host); single-replica
+    policies co-locate both VMs on the lone machine, the classic cloud
+    coresidency setup.
+    """
+    policy = resolve_policy(policy, base_config)
+    config = policy.configure(base_config)
+    replicas = policy.replica_count(config)
+    sim = Simulator(seed=seed, trace=Trace(
+        categories={"vmm.divergence"}, max_per_category=4096))
+    machines = 5 if replicas > 1 else 1
+    cloud = Cloud(sim, machines=machines, config=config,
+                  host_kwargs=host_kwargs or {"contention_alpha": 0.5},
+                  policy=policy)
+    if replicas > 1:
+        attacker_hosts = [0, 1, 2]
+        victim_hosts = [0, 3, 4]    # shares exactly host 0 with attacker
+    else:
+        attacker_hosts = [0]
+        victim_hosts = [0]
+    return sim, cloud, attacker_hosts, victim_hosts
+
+
+def _keep_downloading(sim, downloader, size: int) -> None:
+    """Loop downloads back-to-back for the whole run."""
+
+    def again(_latency=None):
+        downloader.download(size, on_done=again)
+
+    again()
+
+
+def _deploy_victim(sim, cloud, victim_hosts, workload: str,
+                   clients: int, file_bytes: int, ping_mean: float):
+    """Create the victim VM plus its client drivers; returns the
+    drivers so :func:`_victim_latencies` can read overhead off them."""
+    if workload not in VICTIM_WORKLOADS:
+        raise ValueError(f"unknown victim workload {workload!r}; "
+                         f"choose from {VICTIM_WORKLOADS}")
+    drivers = []
+    if workload == "fileserver":
+        cloud.create_vm("victim", FileServer, hosts=victim_hosts)
+        for index in range(clients):
+            node = cloud.add_client(f"victim-client:{index}")
+            downloader = HttpDownloader(node, "vm:victim")
+            drivers.append(downloader)
+            sim.call_after(0.05, _keep_downloading, sim, downloader,
+                           file_bytes)
+    else:
+        cloud.create_vm("victim", EchoServer, hosts=victim_hosts)
+        for index in range(clients):
+            node = cloud.add_client(f"victim-client:{index}")
+            pinger = PingClient(node, "vm:victim",
+                                mean_interval=ping_mean)
+            drivers.append(pinger)
+            sim.call_after(0.05, pinger.start)
+    return drivers
+
+
+def _victim_latencies(drivers) -> List[float]:
+    """The victim clients' service observable: download latencies for
+    the fileserver workload, inter-reply gaps for echo."""
+    latencies: List[float] = []
+    for driver in drivers:
+        if hasattr(driver, "latencies"):
+            latencies.extend(driver.latencies)
+        else:
+            times = driver.reply_times
+            latencies.extend(b - a for a, b in zip(times, times[1:]))
+    return latencies
+
+
+def _gaps(times: List[float]) -> List[float]:
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+def run_coresidency_probe(policy="stopwatch",
+                          duration: float = 20.0,
+                          seed: int = 7,
+                          ping_mean: float = 0.020,
+                          workload: str = "fileserver",
+                          victim_clients: int = 3,
+                          victim_file_bytes: int = 300_000,
+                          base_config: StopWatchConfig = DEFAULT,
+                          ) -> AttackResult:
+    """Zhou-style co-residency probing from outside the cloud.
+
+    The attacker VM echoes a paced external ping stream; the colluding
+    client's per-ping round trips (real time, downstream of the egress
+    policy) are the observable.
+    """
+    samples = {}
+    latencies: List[float] = []
+    divergences = 0.0
+    for present in (False, True):
+        sim, cloud, attacker_hosts, victim_hosts = _policy_cell(
+            policy, seed, base_config)
+        cloud.create_vm("attacker", ClockObserver, hosts=attacker_hosts)
+        pinger_node = cloud.add_client("pinger:1")
+        pinger = RttPingClient(pinger_node, "vm:attacker",
+                               mean_interval=ping_mean)
+        drivers = []
+        if present:
+            drivers = _deploy_victim(sim, cloud, victim_hosts, workload,
+                                     victim_clients, victim_file_bytes,
+                                     ping_mean)
+        sim.call_after(0.1, pinger.start)
+        cloud.run(until=duration)
+        samples[present] = list(pinger.rtts)
+        if present:
+            latencies = _victim_latencies(drivers)
+            divergences = cloud.vms["attacker"].stat_sum("divergences")
+    return AttackResult(
+        attack="probe",
+        policy=cloud.policy.name,
+        samples_absent=samples[False],
+        samples_present=samples[True],
+        latencies=latencies,
+        meta={"divergences": divergences,
+              "pings_sent": float(pinger.sent)},
+    )
+
+
+def run_clock_probe(policy="stopwatch",
+                    duration: float = 20.0,
+                    seed: int = 7,
+                    ping_mean: float = 0.020,
+                    workload: str = "fileserver",
+                    victim_clients: int = 3,
+                    victim_file_bytes: int = 300_000,
+                    base_config: StopWatchConfig = DEFAULT,
+                    ) -> AttackResult:
+    """Wray IO-clock probing from inside the attacker guest.
+
+    The attacker guest timestamps each network-interrupt arrival with
+    its RT (virtual) clock; inter-arrival virts are the observable.
+    This exercises the *inbound injection* discipline -- median under
+    stopwatch, boundary-quantised under deterland, jittered under
+    uniform-noise, raw under none.
+    """
+    samples = {}
+    latencies: List[float] = []
+    divergences = 0.0
+    observers = []
+
+    def factory(guest):
+        observer = ClockObserver(guest)
+        observers.append(observer)
+        return observer
+
+    for present in (False, True):
+        observers.clear()
+        sim, cloud, attacker_hosts, victim_hosts = _policy_cell(
+            policy, seed, base_config)
+        cloud.create_vm("attacker", factory, hosts=attacker_hosts)
+        pinger_node = cloud.add_client("pinger:1")
+        pinger = PingClient(pinger_node, "vm:attacker",
+                            mean_interval=ping_mean)
+        drivers = []
+        if present:
+            drivers = _deploy_victim(sim, cloud, victim_hosts, workload,
+                                     victim_clients, victim_file_bytes,
+                                     ping_mean)
+        sim.call_after(0.1, pinger.start)
+        cloud.run(until=duration)
+        # replicas record identical virts; read the first replica
+        samples[present] = observers[0].inter_arrival_virts()
+        if present:
+            latencies = _victim_latencies(drivers)
+            divergences = cloud.vms["attacker"].stat_sum("divergences")
+    return AttackResult(
+        attack="clocks",
+        policy=cloud.policy.name,
+        samples_absent=samples[False],
+        samples_present=samples[True],
+        latencies=latencies,
+        meta={"divergences": divergences,
+              "pings_sent": float(pinger.sent)},
+    )

@@ -17,6 +17,7 @@ Usage::
     python -m repro spans   [--perfetto out.json] [--validate]
     python -m repro flows   [--flow echo/3] [--top-k 10]
     python -m repro chaos   [--check-determinism] [--crash-at 0.9]
+    python -m repro mitigate [--policies none,stopwatch] [--attacks probe]
     python -m repro scale   [--tenants 1,8,32] [--shards 2] [--spec s.toml]
     python -m repro campaign run examples/fig5_sweep.toml --jobs 0
     python -m repro campaign status examples/fig5_sweep.toml
@@ -377,6 +378,74 @@ def cmd_chaos_campaign(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_mitigate(args) -> None:
+    import json
+    import os
+
+    from repro.analysis import format_table
+    from repro.analysis.mitigation import (ATTACK_NAMES,
+                                           mitigation_frontier,
+                                           write_mitigation_bench)
+    from repro.mitigation import POLICIES
+    from repro.sim.rng import derive_root_seed
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    attacks = [a.strip() for a in args.attacks.split(",") if a.strip()]
+    unknown = sorted(set(policies) - set(POLICIES))
+    if unknown:
+        raise SystemExit(f"unknown policies {unknown}; "
+                         f"choose from {sorted(POLICIES)}")
+    unknown = sorted(set(attacks) - set(ATTACK_NAMES))
+    if unknown:
+        raise SystemExit(f"unknown attacks {unknown}; "
+                         f"choose from {list(ATTACK_NAMES)}")
+    seeds = [derive_root_seed(args.seed_base, i)
+             for i in range(args.seeds)]
+    progress = None if args.json else print
+    summary = mitigation_frontier(
+        policies=policies, attacks=attacks, duration=args.duration,
+        seeds=seeds, bins=args.bins, workload=args.workload,
+        jobs=args.jobs, progress=progress)
+    if args.output:
+        previous = None
+        if os.path.exists(args.output):
+            with open(args.output, "r", encoding="utf-8") as handle:
+                previous = json.load(handle)
+        path = write_mitigation_bench(args.output, summary,
+                                      label=args.label,
+                                      previous=previous)
+        if not args.json:
+            print(f"wrote {path}")
+    if args.json:
+        print(json.dumps(summary, indent=2, default=repr))
+    else:
+        print(f"\nMitigation frontier: {summary['cells']} cells "
+              f"({len(policies)} policies x {len(attacks)} attacks x "
+              f"{args.seeds} seeds) in "
+              f"{summary['wall_seconds']:.1f}s wall")
+        rows = [(row["policy"], row["attack"],
+                 f"{row['mi_bits']:.4f}" if row["mi_bits"] is not None
+                 else "-",
+                 f"{row['capacity_bits']:.4f}"
+                 if row["capacity_bits"] is not None else "-",
+                 f"{row['overhead_x']:.2f}x"
+                 if row["overhead_x"] is not None else "-")
+                for row in summary["rows"]]
+        print(format_table(["policy", "attack", "MI (bits)",
+                            "capacity", "overhead"], rows))
+        gate = summary["gate"]
+        if gate["checked"]:
+            print(f"Gate ({gate['attack']}): "
+                  f"{'PASS' if gate['ok'] else 'FAIL'} -- "
+                  f"{gate['detail']}")
+        else:
+            print(f"Gate: skipped -- {gate['detail']}")
+        for failure in summary["failures"]:
+            print(f"  cell failed: {failure}")
+    if not summary["ok"]:
+        raise SystemExit(1)
+
+
 def cmd_scale(args) -> None:
     from repro.analysis import format_table
     from repro.analysis.scale import (build_scale_spec, run_scale_cell,
@@ -491,7 +560,7 @@ def cmd_list(args) -> None:
     from repro.analysis.experiments import RUNNERS
     print("Available experiments: fig1 fig4 fig5 fig6 fig7 fig8 "
           "placement offsets covert collab trace metrics spans flows "
-          "chaos scale bench-kernel campaign")
+          "chaos mitigate scale bench-kernel campaign")
     print("Campaign runners: " + " ".join(sorted(RUNNERS)))
 
 
@@ -626,6 +695,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="campaign: print the full summary as JSON")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("mitigate", help="leakage-vs-overhead frontier: "
+                                        "mitigation policies x attack "
+                                        "probes through the campaign "
+                                        "executor")
+    p.add_argument("--policies", default="none,uniform-noise,deterland,"
+                                         "stopwatch",
+                   help="comma-separated mitigation policies")
+    p.add_argument("--attacks", default="probe,theft,clocks",
+                   help="comma-separated attack probes")
+    p.add_argument("--duration", type=float, default=12.0,
+                   help="simulated seconds per attack condition")
+    p.add_argument("--seeds", type=_positive_int, default=1,
+                   help="number of derived seeds per cell")
+    p.add_argument("--seed-base", type=int, default=7,
+                   help="base for seed derivation")
+    p.add_argument("--bins", type=_positive_int, default=10,
+                   help="histogram bins for the MI estimator")
+    p.add_argument("--workload", default="fileserver",
+                   choices=["fileserver", "echo"],
+                   help="victim workload")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write the frontier summary (e.g. "
+                        "BENCH_mitigation.json), carrying the "
+                        "trajectory")
+    p.add_argument("--label", default="head",
+                   help="label recorded in --output")
+    p.add_argument("--json", action="store_true",
+                   help="print the full summary as JSON")
+    p.set_defaults(fn=cmd_mitigate)
 
     p = sub.add_parser("scale", help="multi-tenant fleet scaling: "
                                      "throughput and mediation delay vs "

@@ -20,6 +20,7 @@ a periodic sweep retires anything older than ``stale_timeout``.
 from typing import Dict, Optional, Tuple
 
 from repro.core.median import QuorumRelease
+from repro.mitigation import MitigationPolicy
 from repro.net.network import Network, RealtimeNode
 from repro.net.packet import Packet, ReplicaEnvelope
 
@@ -40,6 +41,7 @@ class EgressNode:
         self.node = RealtimeNode(sim, network, address)
         self.node.register_protocol("replica-out", self._on_replica_packet)
         self._expected: Dict[str, int] = {}
+        self._policies: Dict[str, MitigationPolicy] = {}
         self._down: Dict[str, set] = {}
         self._releases: Dict[_Key, QuorumRelease] = {}
         self._envelopes: Dict[_Key, ReplicaEnvelope] = {}
@@ -48,10 +50,22 @@ class EgressNode:
         self.stale_swept = 0
         self._sweep_scheduled = False
 
-    def register_vm(self, vm_name: str, replicas: int) -> None:
+    def register_vm(self, vm_name: str, replicas: int,
+                    policy: Optional[MitigationPolicy] = None) -> None:
+        """Expect ``replicas`` copies of each of the VM's outputs.
+
+        ``policy`` (a :class:`~repro.mitigation.MitigationPolicy`)
+        controls release timing: once the quorum completes, the
+        policy's ``release_delay`` holds the forward for that many
+        seconds.  ``None`` -- and every policy returning ``0.0``, e.g.
+        ``stopwatch`` -- releases inline, byte-identical to the
+        pre-policy pipeline.
+        """
         if vm_name in self._expected:
             raise ValueError(f"VM {vm_name!r} already registered at egress")
         self._expected[vm_name] = replicas
+        if policy is not None:
+            self._policies[vm_name] = policy
 
     # ------------------------------------------------------------------
     # degraded quorum
@@ -120,22 +134,40 @@ class EgressNode:
         self.sim.flows.copy_arrived(self.sim.now, envelope.vm, envelope.seq,
                                     envelope.replica_id)
         if release.arrive(envelope.replica_id, self.sim.now):
-            self._forward(key, trigger=envelope.replica_id)
+            self._release(key, trigger=envelope.replica_id)
         if release.complete:
             self._cleanup(key)
 
-    def _forward(self, key: _Key, trigger: Optional[int] = None) -> None:
-        """Forward toward the real destination.  ``trigger`` is the
-        replica whose copy completed the quorum -- the flow layer's
-        critical-path replica (``None`` for degraded retarget releases).
-        """
+    def _release(self, key: _Key, trigger: Optional[int]) -> None:
+        """Forward a quorum-complete output, applying the VM policy's
+        release delay.  Zero delay forwards inline (no event scheduled),
+        keeping delay-free policies byte-identical."""
+        policy = self._policies.get(key[0])
+        delay = 0.0 if policy is None \
+            else policy.release_delay(self, key[0])
+        if delay <= 0.0:
+            self._forward(key, trigger=trigger)
+            return
+        # the quorum entry may be cleaned up before the delay elapses,
+        # so the held forward captures the envelope itself
         envelope = self._envelopes[key]
+        self.sim.call_after(delay, self._forward_held, envelope, trigger)
+
+    def _forward_held(self, envelope: ReplicaEnvelope,
+                      trigger: Optional[int]) -> None:
         self.packets_released += 1
         self.sim.trace.record(self.sim.now, "egress.release",
                               vm=envelope.vm, seq=envelope.seq)
         self.sim.flows.output_released(self.sim.now, envelope.vm,
                                        envelope.seq, trigger)
         self.network.send(envelope.inner)
+
+    def _forward(self, key: _Key, trigger: Optional[int] = None) -> None:
+        """Forward toward the real destination.  ``trigger`` is the
+        replica whose copy completed the quorum -- the flow layer's
+        critical-path replica (``None`` for degraded retarget releases).
+        """
+        self._forward_held(self._envelopes[key], trigger)
 
     def _cleanup(self, key: _Key) -> None:
         self._releases.pop(key, None)

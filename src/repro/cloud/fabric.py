@@ -39,6 +39,7 @@ from repro.cloud.egress import EgressNode
 from repro.cloud.ingress import IngressNode
 from repro.core.config import StopWatchConfig, DEFAULT
 from repro.machine.host import Host
+from repro.mitigation import MitigationPolicy, resolve_policy
 from repro.net.link import Link
 from repro.net.network import Network, RealtimeNode
 from repro.net.pgm import PgmReceiver
@@ -63,6 +64,8 @@ class ReplicatedVM:
     workload_seed: Optional[int] = None
     #: replica_id -> ExecutionRecorder, attached by the fault injector
     recorders: Dict[int, object] = field(default_factory=dict)
+    #: the mitigation policy this VM's timing runs under
+    policy: Optional[MitigationPolicy] = None
 
     @property
     def address(self) -> str:
@@ -110,7 +113,8 @@ class Cloud:
                  internal_bandwidth: float = 1e9,
                  host_kwargs: Optional[dict] = None,
                  shards: int = 1,
-                 placer="auto"):
+                 placer="auto",
+                 policy=None):
         if machines < config.replicas:
             raise ValueError(
                 f"{config.replicas} replicas need at least that many "
@@ -120,6 +124,11 @@ class Cloud:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.sim = sim
         self.config = config
+        #: cloud-wide default mitigation policy; ``None`` derives the
+        #: config's historical behaviour (stopwatch when mediated, the
+        #: passthrough baseline otherwise).  ``create_vm(policy=...)``
+        #: overrides it per tenant.
+        self.policy = resolve_policy(policy, config)
         self.shards = shards
         self.network = Network(sim, default_link_kwargs={
             "latency": config.internal_latency,
@@ -265,7 +274,8 @@ class Cloud:
     # ------------------------------------------------------------------
     def create_vm(self, name: str,
                   workload_factory: Optional[Callable] = None,
-                  hosts: Optional[Sequence[int]] = None) -> ReplicatedVM:
+                  hosts: Optional[Sequence[int]] = None,
+                  policy=None) -> ReplicatedVM:
         """Deploy a guest VM (replicated per the config).
 
         ``workload_factory(guest_os)`` is called once per replica and must
@@ -275,10 +285,20 @@ class Cloud:
         With ``hosts=None`` the cloud's placer chooses the replica
         machines (see the module docstring); an explicit ``hosts=``
         sequence pins them and bypasses placement constraints.
+
+        ``policy`` (a name or :class:`~repro.mitigation
+        .MitigationPolicy`) overrides the cloud's default mitigation
+        policy for this VM: it decides the replica count, whether the
+        replicas coordinate through median agreement, and the
+        injection/release timing discipline.  Single-replica policies
+        in a mediated cloud still route output through the egress node
+        (quorum 1) so the policy's release hook applies.
         """
         if name in self.vms:
             raise ValueError(f"VM {name!r} already exists")
-        replica_count = self.config.replicas
+        vm_policy = self.policy if policy is None \
+            else resolve_policy(policy, self.config)
+        replica_count = vm_policy.replica_count(self.config)
         if hosts is None:
             hosts = self._place(name, replica_count)
         hosts = list(hosts)
@@ -302,21 +322,22 @@ class Cloud:
             vmm = ReplicaVMM(
                 self.sim, self.hosts[host_id], name, replica_id,
                 self.config, workload_rng=_random.Random(workload_seed),
-                egress_address=egress_address)
+                egress_address=egress_address, policy=vm_policy)
             vmms.append(vmm)
 
         vm = ReplicatedVM(name=name, hosts=hosts, vmms=vmms, shard=shard,
                           workload_factory=workload_factory,
-                          workload_seed=workload_seed)
+                          workload_seed=workload_seed, policy=vm_policy)
         self.vms[name] = vm
 
-        if self.config.mediate and replica_count > 1:
+        if vm_policy.coordinated and replica_count > 1:
             self._wire_mediated(vm)
         else:
             self._wire_baseline(vm)
 
         if self.config.egress_enabled:
-            self.egresses[shard].register_vm(name, replica_count)
+            self.egresses[shard].register_vm(name, replica_count,
+                                             policy=vm_policy)
 
         if workload_factory is not None:
             for vmm in vmms:

@@ -107,6 +107,11 @@ class TenantSpec:
     max_retries: int = 3
     #: first-retry backoff (s); doubles per attempt, seeded jitter on top
     backoff_base: float = 0.05
+    #: mitigation policy name (repro.mitigation.POLICIES); None runs
+    #: the cloud's default (stopwatch under a mediated config)
+    policy: Optional[str] = None
+    #: constructor params for the policy (e.g. {"bound": 0.02})
+    policy_params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name or any(c in self.name for c in "/: "):
@@ -142,6 +147,25 @@ class TenantSpec:
             raise ScenarioError(
                 f"tenant {self.name!r}: {len(self.hosts)} host pins for "
                 f"{self.count} VMs")
+        if self.policy_params and self.policy is None:
+            raise ScenarioError(
+                f"tenant {self.name!r}: policy_params without a policy")
+        if self.policy is not None:
+            # construct once to validate name and params eagerly
+            from repro.mitigation import PolicyError
+            try:
+                self.make_policy()
+            except PolicyError as exc:
+                raise ScenarioError(
+                    f"tenant {self.name!r}: {exc}") from exc
+
+    def make_policy(self):
+        """The tenant's :class:`~repro.mitigation.MitigationPolicy`
+        instance, or ``None`` for the cloud default."""
+        if self.policy is None:
+            return None
+        from repro.mitigation import make_policy
+        return make_policy(self.policy, **self.policy_params)
 
     def vm_names(self) -> List[str]:
         if self.count == 1:
@@ -440,17 +464,33 @@ class CloudBuilder:
         tenant_vms: Dict[str, List[str]] = {}
         drivers: Dict[tuple, Any] = {}
         client_index = 0
+        loose_slot = 0   # round-robin host cursor for non-triangle VMs
         for tenant in spec.tenants:
             server_factory = _make_server_factory(tenant.workload)
             names = tenant.vm_names()
             tenant_vms[tenant.name] = names
+            vm_policy = tenant.make_policy()
+            replica_count = (vm_policy.replica_count(config)
+                             if vm_policy is not None else config.replicas)
             for vm_index, vm_name in enumerate(names):
                 if tenant.hosts is not None:
-                    placer.place_at(vm_name, tenant.hosts[vm_index])
+                    if replica_count == 3:
+                        placer.place_at(vm_name, tenant.hosts[vm_index])
                     cloud.create_vm(vm_name, server_factory,
-                                    hosts=list(tenant.hosts[vm_index]))
+                                    hosts=list(tenant.hosts[vm_index]),
+                                    policy=vm_policy)
+                elif replica_count != 3:
+                    # non-triangle (single-replica policy) VMs bypass
+                    # the triangle placer: spread them round-robin,
+                    # deterministically in deployment order
+                    pins = [(loose_slot + i) % machines
+                            for i in range(replica_count)]
+                    loose_slot += replica_count
+                    cloud.create_vm(vm_name, server_factory,
+                                    hosts=pins, policy=vm_policy)
                 else:
-                    cloud.create_vm(vm_name, server_factory)
+                    cloud.create_vm(vm_name, server_factory,
+                                    policy=vm_policy)
                 wan = spec.wan[tenant.wan]
                 for slot in range(tenant.clients):
                     port = cloud.add_client(

@@ -280,7 +280,8 @@ class EvacuationController:
             new_vmm = ReplicaVMM(
                 self.sim, new_host, vm_name, replica_id, cloud.config,
                 workload_rng=random.Random(vm.workload_seed),
-                egress_address=cloud.egresses[vm.shard].address)
+                egress_address=cloud.egresses[vm.shard].address,
+                policy=vm.policy)
         except HostCapacityError as exc:
             ingress.resume_vm(vm_name)
             self._revert_placement(vm, replica_id, old_host.host_id,

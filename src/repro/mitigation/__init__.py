@@ -1,0 +1,27 @@
+"""Pluggable timing-channel mitigation policies (see ``policy.py``)."""
+
+from repro.mitigation.policy import (
+    DeterlandPolicy,
+    MitigationPolicy,
+    PassthroughPolicy,
+    POLICIES,
+    PolicyError,
+    StopWatchPolicy,
+    UniformNoisePolicy,
+    default_policy,
+    make_policy,
+    resolve_policy,
+)
+
+__all__ = [
+    "DeterlandPolicy",
+    "MitigationPolicy",
+    "PassthroughPolicy",
+    "POLICIES",
+    "PolicyError",
+    "StopWatchPolicy",
+    "UniformNoisePolicy",
+    "default_policy",
+    "make_policy",
+    "resolve_policy",
+]

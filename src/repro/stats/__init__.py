@@ -10,6 +10,8 @@
   detect the victim" calculator used by Fig. 1(b,c) and Fig. 4(b).
 - :mod:`repro.stats.noise` -- the uniform-random-noise alternative and the
   delay comparison of Fig. 8.
+- :mod:`repro.stats.mi` -- binned mutual-information and Blahut-Arimoto
+  channel-capacity estimators for the mitigation-frontier leakage axis.
 """
 
 from repro.stats.distributions import (
@@ -52,6 +54,13 @@ from repro.stats.noise import (
     NoiseComparisonRow,
     ProtectionCostPoint,
 )
+from repro.stats.mi import (
+    capacity_from_samples,
+    channel_capacity_bits,
+    leakage_summary,
+    mi_bits,
+    mutual_information_bits,
+)
 
 __all__ = [
     "Distribution",
@@ -86,4 +95,9 @@ __all__ = [
     "stopwatch_observations",
     "NoiseComparisonRow",
     "ProtectionCostPoint",
+    "capacity_from_samples",
+    "channel_capacity_bits",
+    "leakage_summary",
+    "mi_bits",
+    "mutual_information_bits",
 ]

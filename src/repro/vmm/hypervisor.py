@@ -28,6 +28,7 @@ from typing import Callable, Optional
 from repro.core.config import StopWatchConfig
 from repro.core.virtual_time import EpochSample, VirtualClock
 from repro.machine.guest import GuestOS
+from repro.mitigation import MitigationPolicy, default_policy
 from repro.net.packet import Packet, ReplicaEnvelope
 from repro.sim.errors import Interrupt
 
@@ -60,13 +61,18 @@ class ReplicaVMM:
 
     def __init__(self, sim, host, vm_name: str, replica_id: int,
                  config: StopWatchConfig, workload_rng,
-                 egress_address: str = "egress"):
+                 egress_address: str = "egress",
+                 policy: Optional[MitigationPolicy] = None):
         self.sim = sim
         self.host = host
         self.vm_name = vm_name
         self.vm_address = f"vm:{vm_name}"
         self.replica_id = replica_id
         self.config = config
+        # injection/release timing discipline; the default derives from
+        # the config so pre-subsystem callers behave identically
+        self.policy = policy if policy is not None \
+            else default_policy(config)
         self.egress_address = egress_address
         self.clock = VirtualClock(
             start=0.0, slope=config.initial_slope,
@@ -204,8 +210,7 @@ class ReplicaVMM:
                      write: bool) -> None:
         """Guest issued a disk/DMA request at the current virtual time."""
         request_virt = self.current_virt()
-        delivery_virt = (request_virt + self.config.delta_disk
-                         if self.config.mediate else None)
+        delivery_virt = self.policy.disk_delivery_virt(self, request_virt)
         request_id = len(self._pending_disk) + self.stats["disk_interrupts"]
         injection = _DiskInjection(request_id, delivery_virt, fn, args,
                                    flow=self.guest.current_flow())
@@ -222,7 +227,7 @@ class ReplicaVMM:
 
     def _disk_ready(self, injection: _DiskInjection) -> None:
         injection.ready = True
-        if not self.config.mediate:
+        if self.policy.disk_poke:
             self._poke()
 
     # ------------------------------------------------------------------
@@ -243,14 +248,16 @@ class ReplicaVMM:
                                   vm=self.vm_name, replica=self.replica_id,
                                   seq=seq)
             return
-        if not self.config.mediate or self.coordination is None:
+        if not self.policy.coordinated or self.coordination is None:
             local_seq = self._net_seq_baseline
             self._net_seq_baseline += 1
             self._pending_net[local_seq] = _NetInjection(
-                local_seq, packet, float("-inf"))
-            self._poke()
+                local_seq, packet,
+                self.policy.inbound_delivery_virt(self))
+            if self.policy.immediate_injection:
+                self._poke()
             return
-        proposal = self.last_exit_virt + self.config.delta_net
+        proposal = self.policy.network_proposal_virt(self)
         self.sim.trace.record(self.sim.now, "vmm.propose", vm=self.vm_name,
                               replica=self.replica_id, seq=seq,
                               proposal=proposal)
@@ -362,7 +369,8 @@ class ReplicaVMM:
         config = self.config
 
         if config.timer_interrupts:
-            while self._next_pit_virt <= virt:
+            tick_gate = self.policy.timer_gate_virt(self, virt)
+            while self._next_pit_virt <= tick_gate:
                 self.pit_ticks += 1
                 self.stats["timer_interrupts"] += 1
                 if self.on_tick is not None:

@@ -37,6 +37,10 @@ MINIMAL_KWARGS = {
     "kernel_bench": {"tenants": 1, "duration": 0.5, "repeats": 1},
     "chaos_cell": {"scenario": "single", "duration": 2.2,
                    "rate": 1.0, "check_determinism": False},
+    "mitigation_cell": {"policy": "none", "attack": "probe",
+                        "duration": 2.0, "seed": 3},
+    "mitigation_frontier": {"policies": ("none",), "attacks": ("probe",),
+                            "duration": 2.0, "seeds": [3], "jobs": 1},
 }
 
 
@@ -63,7 +67,7 @@ def test_every_runner_has_a_smoke_entry():
 @pytest.mark.parametrize("name", sorted(RUNNERS))
 def test_runner_returns_nonempty_finite_rows(name):
     result = RUNNERS[name](**MINIMAL_KWARGS[name])
-    if name == "chaos_cell":
+    if name in ("chaos_cell", "mitigation_frontier"):
         # list fields are empty precisely when the cell is healthy
         result = {key: value for key, value in result.items()
                   if value != []}

@@ -1,0 +1,68 @@
+"""Every policy must be a pure function of the seed: warm same-seed
+repeats give byte-identical client-visible timelines.  The noise-family
+policies additionally have to coexist with the fault injector without
+wedging the (quorum-1) egress pipeline."""
+
+import pytest
+
+from repro.analysis.mitigation import policy_signature
+from repro.cloud.fabric import Cloud
+from repro.core.config import DEFAULT
+from repro.faults import FaultInjector, FaultSchedule
+from repro.mitigation import POLICIES, make_policy
+from repro.sim.kernel import Simulator
+from repro.workloads.echo import EchoServer, PingClient
+
+
+def test_same_seed_signatures_are_byte_identical_per_policy():
+    signatures = {}
+    for name in sorted(POLICIES):
+        first = policy_signature(name, seed=5, duration=2.0)
+        second = policy_signature(name, seed=5, duration=2.0)
+        assert first == second, f"policy {name} not deterministic"
+        signatures[name] = first
+    # and the policies genuinely differ in what the client observes
+    assert len(set(signatures.values())) == len(signatures)
+
+
+def _edge_fault_run(policy_name: str, seed: int = 9,
+                    duration: float = 4.0):
+    """A single-replica policy cell whose egress shard is partitioned
+    mid-run and later healed, under steady client load."""
+    policy = make_policy(policy_name)
+    config = policy.configure(DEFAULT)
+    sim = Simulator(seed=seed)
+    cloud = Cloud(sim, machines=1, config=config, policy=policy)
+    cloud.create_vm("echo", EchoServer)
+    client = cloud.add_client("client:1")
+    pinger = PingClient(client, "vm:echo",
+                        spacing_fn=lambda rng: 0.030, timeout=0.25)
+    sim.call_after(0.05, pinger.start)
+    injector = FaultInjector(cloud, FaultSchedule.from_entries([
+        (0.8, "partition_edge", "egress:echo"),
+        (1.6, "heal_edge", "egress:echo"),
+    ]))
+    injector.arm()
+    cloud.run(until=duration)
+    return cloud, pinger, injector
+
+
+@pytest.mark.parametrize("policy_name", ["deterland", "uniform-noise"])
+def test_noise_policies_survive_edge_partition(policy_name):
+    cloud, pinger, injector = _edge_fault_run(policy_name)
+    assert len(injector.applied) == 2
+    # service resumed after the heal: replies keep arriving late in
+    # the run, through the egress release path
+    assert any(t > 2.0 for t in pinger.reply_times)
+    assert cloud.egress.packets_released > 0
+    # the quorum-1 release pipeline did not wedge: no unbounded
+    # backlog of held entries at end of run
+    assert cloud.pending_releases < 20
+
+
+@pytest.mark.parametrize("policy_name", ["deterland", "uniform-noise"])
+def test_noise_policies_deterministic_under_faults(policy_name):
+    first = _edge_fault_run(policy_name)[1].reply_times
+    second = _edge_fault_run(policy_name)[1].reply_times
+    assert first == second
+    assert first, "fault run produced no replies at all"

@@ -1,0 +1,103 @@
+"""Calibration of the binned MI / channel-capacity estimators against
+cases with known answers."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.stats.mi import (
+    binned_joint_counts,
+    capacity_from_samples,
+    channel_capacity_bits,
+    leakage_summary,
+    mi_bits,
+    mutual_information_bits,
+    pooled_bin_edges,
+)
+
+
+def _entropy_bits(p: float) -> float:
+    return -(p * math.log2(p) + (1 - p) * math.log2(1 - p))
+
+
+class TestMutualInformation:
+    def test_independent_samples_report_near_zero(self):
+        rng = random.Random(0)
+        a = [rng.gauss(0.0, 1.0) for _ in range(4000)]
+        b = [rng.gauss(0.0, 1.0) for _ in range(4000)]
+        assert mi_bits([a, b], bins=10) < 0.01
+
+    def test_deterministic_coupling_reports_log2_k(self):
+        # k=4 classes on disjoint ranges: the label is a deterministic
+        # function of the binned value, so I(S;X) = log2(4) = 2 bits
+        rng = random.Random(1)
+        classes = [[i + rng.random() * 0.5 for _ in range(600)]
+                   for i in range(4)]
+        assert mi_bits(classes, bins=8) == pytest.approx(2.0, abs=0.05)
+
+    def test_correction_reduces_but_never_negates(self):
+        rng = random.Random(2)
+        a = [rng.random() for _ in range(200)]
+        b = [rng.random() for _ in range(200)]
+        counts = binned_joint_counts([a, b], bins=10)
+        raw = mutual_information_bits(counts, correction=False)
+        corrected = mutual_information_bits(counts, correction=True)
+        assert 0.0 <= corrected < raw
+
+    def test_pooled_edges_are_secret_blind(self):
+        edges = pooled_bin_edges([[1, 2, 3, 4], [5, 6, 7, 8]], bins=4)
+        assert len(edges) == 3
+        assert list(edges) == sorted(edges)
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="bins"):
+            pooled_bin_edges([[1.0]], bins=1)
+        with pytest.raises(ValueError, match="no samples"):
+            binned_joint_counts([[1.0], []], bins=4)
+        with pytest.raises(ValueError, match="empty"):
+            mutual_information_bits(np.zeros((2, 4)))
+
+
+class TestChannelCapacity:
+    def test_binary_symmetric_channel(self):
+        p = 0.1
+        capacity = channel_capacity_bits(
+            np.array([[1 - p, p], [p, 1 - p]]))
+        assert capacity == pytest.approx(1.0 - _entropy_bits(p),
+                                         abs=1e-6)
+
+    def test_noiseless_k_ary_channel(self):
+        assert channel_capacity_bits(np.eye(4)) == pytest.approx(
+            2.0, abs=1e-6)
+
+    def test_useless_channel_has_zero_capacity(self):
+        assert channel_capacity_bits(
+            np.array([[0.5, 0.5], [0.5, 0.5]])) == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_capacity_bounds_mi_from_above(self):
+        rng = random.Random(3)
+        classes = [[rng.gauss(i * 0.3, 1.0) for _ in range(800)]
+                   for i in range(3)]
+        counts = binned_joint_counts(classes, bins=10)
+        mi = mutual_information_bits(counts)
+        assert capacity_from_samples(classes, bins=10) >= mi - 1e-9
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            channel_capacity_bits(np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            channel_capacity_bits(np.array([[0.0, 0.0], [1.0, 0.0]]))
+
+
+def test_leakage_summary_fields():
+    rng = random.Random(4)
+    classes = [[rng.random() for _ in range(300)] for _ in range(2)]
+    summary = leakage_summary(classes, bins=8)
+    assert set(summary) == {"mi_bits", "mi_bits_raw", "capacity_bits",
+                            "samples", "bins"}
+    assert summary["samples"] == [300, 300]
+    assert summary["bins"] == 8
+    assert summary["mi_bits"] <= summary["mi_bits_raw"]
