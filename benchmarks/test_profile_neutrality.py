@@ -1,0 +1,65 @@
+"""Profiler-neutrality benchmark (CI gate).
+
+The profiler's contract is that it is **measurement-only**: attaching
+subsystem CPU attribution to the 32-tenant kernel cell must not change
+a single released packet.  The committed ``BENCH_kernel.json`` pins the
+cell's egress signature; a profiled run must reproduce it byte for
+byte, attribute (within float tolerance) every CPU second it observed,
+and cost at most 2x the unprofiled cell.
+"""
+
+import time
+
+from repro.analysis.scale import build_scale_spec, run_scale_cell
+
+#: the committed 32-tenant cell signature (BENCH_kernel.json); any
+#: change here is an observable-behaviour change, not a perf delta
+PINNED_SIGNATURE = ("856f2d6a2abdc5975c087548448394e5"
+                    "5210557b6e8cea27be67c528d49a6563")
+
+TENANTS = 32
+DURATION = 2.0
+SEED = 1
+REQUEST_RATE = 30.0
+
+
+def _cell(profile: bool):
+    spec = build_scale_spec(TENANTS, request_rate=REQUEST_RATE)
+    started = time.process_time()
+    row = run_scale_cell(spec, duration=DURATION, seed=SEED,
+                         profile=profile)
+    return row, time.process_time() - started
+
+
+def test_profiling_is_egress_neutral_and_cheap(save_result):
+    plain, plain_cpu = _cell(profile=False)
+    profiled, profiled_cpu = _cell(profile=True)
+
+    assert plain["egress_signature"] == PINNED_SIGNATURE, (
+        "unprofiled 32-tenant cell no longer matches the committed "
+        "baseline signature -- re-baseline BENCH_kernel.json first")
+    assert profiled["egress_signature"] == PINNED_SIGNATURE, (
+        "profiling changed the egress signature: the profiler leaked "
+        "into simulated behaviour")
+
+    summary = profiled["profile"]
+    attributed = sum(summary["subsystems"].values())
+    assert abs(attributed - summary["total_seconds"]) \
+        <= 1e-6 * max(summary["total_seconds"], 1.0), (
+        f"subsystem attribution ({attributed:.4f}s) does not sum to "
+        f"total CPU ({summary['total_seconds']:.4f}s)")
+    assert summary["events"] == plain["events_fired"]
+
+    ratio = profiled_cpu / plain_cpu if plain_cpu > 0 else 1.0
+    save_result(
+        "profile_neutrality.txt",
+        f"tenants            {TENANTS}\n"
+        f"events             {plain['events_fired']}\n"
+        f"unprofiled cpu s   {plain_cpu:.4f}\n"
+        f"profiled cpu s     {profiled_cpu:.4f}\n"
+        f"overhead ratio     {ratio:.3f}\n"
+        f"egress signature   {PINNED_SIGNATURE[:16]}... (pinned, "
+        f"matched by both runs)")
+    assert ratio < 2.0, (
+        f"profiling cost {ratio:.2f}x the unprofiled cell "
+        f"(budget: 2x)")

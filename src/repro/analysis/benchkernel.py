@@ -1,5 +1,5 @@
 """Kernel throughput benchmark: the consolidated fleet cell as a
-tracked artifact.
+tracked trajectory entry.
 
 ``run_kernel_bench`` runs the 32-tenant scale cell (the hot-loop
 workload: ~100k events per simulated second of VM quanta, replica
@@ -18,24 +18,38 @@ and reports
   regression fixture for the old process-global packet-uid counter
   (warm repeats in one process used to diverge).
 
-``repro bench-kernel`` writes the report to ``BENCH_kernel.json``
-through the atomic writer and can fail (exit non-zero) when throughput
-drops more than :data:`REGRESSION_TOLERANCE` below a committed
-baseline file -- that is the ``kernel-bench`` CI job.
+With ``profile=True`` one extra profiled repeat runs after the timed
+ones (so attribution never contaminates the headline throughput); its
+egress signature must match the unprofiled runs byte-for-byte -- the
+profiler-neutrality invariant -- and its
+:class:`~repro.prof.profiler.SubsystemProfiler` summary rides in the
+report's ``"profile"`` key.
+
+Artifacts go through :mod:`repro.bench`: :func:`write_bench` appends a
+schema-versioned entry to the ``BENCH_kernel.json`` trajectory
+(migrating the legacy single-snapshot file on first touch), and
+:func:`check_regression` fails when events/CPU-s drops more than
+:data:`REGRESSION_TOLERANCE` below the best comparable entry or the
+egress signature changes -- that is the ``kernel-bench`` CI gate.
 """
 
-import json
 import time
 from typing import Dict, List, Optional
 
-from repro.ioutil import atomic_write_json
+from repro.bench.schema import (DEFAULT_TOLERANCE, compare_entry,
+                                load_trajectory, make_entry)
 
 #: fail the regression gate when events/CPU-second drops below
-#: (1 - tolerance) x the committed baseline
-REGRESSION_TOLERANCE = 0.20
+#: (1 - tolerance) x the best comparable trajectory entry
+REGRESSION_TOLERANCE = DEFAULT_TOLERANCE
 
 #: default artifact path (repo root, committed)
 BENCH_PATH = "BENCH_kernel.json"
+
+#: the result keys that become trajectory-entry metrics
+_METRIC_KEYS = ("events_per_cpu_second", "events_per_second",
+                "events_fired", "cpu_seconds", "heap_high_water",
+                "bucket_high_water", "far_high_water", "mediation_p95")
 
 
 class BenchError(RuntimeError):
@@ -46,7 +60,8 @@ def run_kernel_bench(tenants: int = 32,
                      duration: float = 2.0,
                      seed: int = 1,
                      request_rate: float = 30.0,
-                     repeats: int = 2) -> Dict[str, object]:
+                     repeats: int = 2,
+                     profile: bool = False) -> Dict[str, object]:
     """Run the kernel benchmark cell ``repeats`` times; return the report.
 
     Repeats run in one warm process on purpose: identical egress
@@ -86,7 +101,7 @@ def run_kernel_bench(tenants: int = 32,
             f"repeats in one process: {sorted(signatures)}")
 
     best = max(runs, key=lambda run: run["events_per_cpu_second"])
-    return {
+    report: Dict[str, object] = {
         "benchmark": f"kernel.scale{tenants}",
         # repeats is a measurement parameter, not part of the workload:
         # the regression gate compares configs, and a 3-repeat CI run
@@ -106,60 +121,66 @@ def run_kernel_bench(tenants: int = 32,
         "deterministic": True,
         "runs": runs,
     }
+    if profile:
+        spec = build_scale_spec(tenants, request_rate=request_rate)
+        profiled = run_scale_cell(spec, duration=duration, seed=seed,
+                                  profile=True)
+        if profiled["egress_signature"] != best["egress_signature"]:
+            raise BenchError(
+                f"profiling perturbed the egress signature: "
+                f"{profiled['egress_signature']} != "
+                f"{best['egress_signature']} -- the profiler must be "
+                f"measurement-only")
+        report["profile"] = profiled["profile"]
+    return report
+
+
+def kernel_entry(result: Dict[str, object],
+                 label: str = "head") -> Dict[str, object]:
+    """The :mod:`repro.bench` trajectory entry for a bench report."""
+    return make_entry(
+        str(result["benchmark"]),
+        result["config"],
+        {key: result[key] for key in _METRIC_KEYS},
+        primary_metric="events_per_cpu_second",
+        label=label,
+        egress_signature=result["egress_signature"],
+        profile=result.get("profile"))
 
 
 def load_bench(path: str) -> Optional[Dict[str, object]]:
-    """The committed benchmark file at ``path``, or None if absent."""
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            return json.load(handle)
-    except FileNotFoundError:
-        return None
+    """The benchmark trajectory at ``path`` (legacy snapshots are
+    migrated in memory), or None if absent."""
+    return load_trajectory(path)
 
 
 def check_regression(result: Dict[str, object],
                      baseline: Dict[str, object],
                      tolerance: float = REGRESSION_TOLERANCE) -> None:
-    """Raise :class:`BenchError` when ``result`` regresses ``baseline``.
+    """Raise :class:`BenchError` when ``result`` (a bench report or a
+    trajectory entry) regresses against the ``baseline`` trajectory.
 
-    Compares events per CPU second; the committed baseline's config must
-    match or the comparison is meaningless (also an error).
+    Compares events per CPU second against the best prior entry with a
+    matching benchmark id + config, and the egress signature against
+    the most recent such entry; an empty comparable history is an error
+    (a gate that silently checks nothing would rot).
     """
-    if baseline.get("config") != result.get("config"):
+    entry = result if result.get("schema") else kernel_entry(result)
+    gate = compare_entry(entry, baseline, tolerance=tolerance)
+    if not gate["checked"]:
         raise BenchError(
-            f"baseline config {baseline.get('config')} does not match "
-            f"current config {result.get('config')}; re-baseline instead "
-            f"of comparing")
-    floor = baseline["events_per_cpu_second"] * (1.0 - tolerance)
-    current = result["events_per_cpu_second"]
-    if current < floor:
-        raise BenchError(
-            f"kernel throughput regressed: {current:.0f} events/CPU-s "
-            f"vs baseline {baseline['events_per_cpu_second']:.0f} "
-            f"(floor {floor:.0f}, tolerance {tolerance:.0%})")
+            f"no comparable baseline entry for "
+            f"{entry['benchmark']} with config {entry['config']}; "
+            f"re-baseline instead of comparing")
+    if not gate["ok"]:
+        raise BenchError("; ".join(gate["problems"]))
 
 
 def write_bench(path: str, result: Dict[str, object],
-                label: str = "head",
-                previous: Optional[Dict[str, object]] = None) -> str:
-    """Atomically write ``result`` to ``path``, carrying the trajectory.
+                label: str = "head") -> str:
+    """Append the report to the trajectory at ``path`` (atomically,
+    migrating a legacy single-snapshot file on first touch)."""
+    from repro.bench.schema import append_entry
 
-    The trajectory is the list of prior summaries (label, throughput,
-    high-water marks); the previous file's own result is appended to it
-    so the committed artifact records how the kernel got here.
-    """
-    trajectory: List[Dict[str, object]] = []
-    if previous is not None:
-        trajectory = list(previous.get("trajectory", ()))
-        if "events_per_cpu_second" in previous:
-            trajectory.append({
-                "label": previous.get("label", "previous"),
-                "events_per_cpu_second": previous["events_per_cpu_second"],
-                "events_per_second": previous.get("events_per_second"),
-                "heap_high_water": previous.get("heap_high_water"),
-                "mediation_p95": previous.get("mediation_p95"),
-            })
-    report = dict(result)
-    report["label"] = label
-    report["trajectory"] = trajectory
-    return atomic_write_json(path, report, indent=2)
+    append_entry(path, kernel_entry(result, label=label))
+    return path

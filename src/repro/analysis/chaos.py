@@ -239,13 +239,16 @@ def cell_storm(cloud, seed: int, duration: float,
 
 
 def _cell_once(seed: int, scenario: str, duration: float,
-               rate: float) -> Tuple[dict, List[Tuple]]:
+               rate: float, profile: bool = False) -> Tuple[dict, List[Tuple]]:
     """One storm run; returns (plain-data result, trace signature)."""
+    import time as _time
+
     from repro.faults.heal import EvacuationController
     from repro.faults.invariants import check_all
 
+    cell_started = _time.perf_counter()
     trace = Trace(categories=CHAOS_CATEGORIES + ("ingress",))
-    sim = Simulator(seed=seed, trace=trace)
+    sim = Simulator(seed=seed, trace=trace, profile=profile)
     cloud, placer, pingers, run = _build_cell(sim, scenario, duration)
     healer = EvacuationController(cloud, placer=placer)
     storm = cell_storm(cloud, seed, duration, rate, scenario)
@@ -276,12 +279,18 @@ def _cell_once(seed: int, scenario: str, duration: float,
         "client_retries": sum(getattr(p, "retries", 0)
                               for p in pingers.values()),
     }
+    if profile and sim.profiler is not None:
+        result["profile"] = sim.profiler.summary(
+            loop_seconds=sim.wall_seconds,
+            total_seconds=_time.perf_counter() - cell_started,
+            release_times=trace.times("egress.release"))
     return result, chaos_signature(trace)
 
 
 def run_chaos_cell(seed: int = 7, scenario: str = "single",
                    duration: float = 6.0, rate: float = 1.2,
-                   check_determinism: bool = True) -> dict:
+                   check_determinism: bool = True,
+                   profile: bool = False) -> dict:
     """One invariant-gated chaos cell (a campaign-dispatchable runner).
 
     Builds the scenario's fabric with an armed healer, runs the seeded
@@ -289,12 +298,19 @@ def run_chaos_cell(seed: int = 7, scenario: str = "single",
     default) re-runs the identical cell to verify the
     fault/recovery/heal/release signature is byte-identical.  Returns
     plain data; ``ok`` is the single pass/fail gate.
+
+    With ``profile=True`` the primary run is profiled (the determinism
+    replay never is) and the cell carries a ``"profile"`` subsystem
+    summary; the signature comparison then doubles as the
+    profiler-neutrality check -- a profiled run and its unprofiled
+    replay must produce identical fault/heal/release records.
     """
     if duration <= CELL_DRAIN + CELL_STORM_START:
         raise ValueError(
             f"duration must exceed {CELL_DRAIN + CELL_STORM_START}s "
             f"(storm ramp + drain), got {duration}")
-    result, signature = _cell_once(seed, scenario, duration, rate)
+    result, signature = _cell_once(seed, scenario, duration, rate,
+                                   profile=profile)
     result["signature_records"] = len(signature)
     result["deterministic"] = None
     result["divergence"] = None
@@ -320,12 +336,16 @@ def run_chaos_campaign(seeds: Optional[Sequence[int]] = None,
                        duration: float = 6.0, rate: float = 1.2,
                        jobs: int = 1, check_determinism: bool = True,
                        timeout: Optional[float] = 300.0,
+                       profile: bool = False,
                        progress=None) -> dict:
     """Sweep chaos cells across seeds x scenarios; aggregate the gates.
 
     Defaults give 7 seeds x 3 scenarios = 21 invariant-gated cells.
     ``jobs > 1`` fans cells out across worker processes via the
-    campaign executor; results are identical either way.
+    campaign executor; results are identical either way.  With
+    ``profile=True`` each cell's primary run carries a subsystem
+    profile (persisted per cell by the executor), and the summary
+    merges them into one campaign-wide attribution.
     """
     from repro.campaign.executor import CampaignExecutor
     from repro.campaign.spec import CampaignSpec, SweepSpec
@@ -333,12 +353,17 @@ def run_chaos_campaign(seeds: Optional[Sequence[int]] = None,
 
     if seeds is None:
         seeds = [derive_root_seed(101, i) for i in range(7)]
+    params = {"duration": duration, "rate": rate,
+              "check_determinism": check_determinism}
+    if profile:
+        # only stamp the cell params when on, so profiled campaigns
+        # never share cache entries with unprofiled ones
+        params["profile"] = True
     spec = CampaignSpec(
         name="chaos-storm",
         sweeps=[SweepSpec(
             runner="chaos_cell",
-            params={"duration": duration, "rate": rate,
-                    "check_determinism": check_determinism},
+            params=params,
             grid={"scenario": list(scenarios)})],
         seeds=list(seeds),
         timeout=timeout)
@@ -364,6 +389,7 @@ def summarize_chaos_campaign(report) -> dict:
               "heal_failures": 0, "faults_injected": 0, "noops": 0,
               "sent": 0, "replies": 0, "client_retries": 0}
     nondeterministic = 0
+    profiles: List[dict] = []
     for cell_result in report.results:
         if not cell_result.ok:
             violations.append(f"{cell_result.cell.label()}: "
@@ -382,9 +408,17 @@ def summarize_chaos_campaign(report) -> dict:
             violations.append(
                 f"{prefix}: signature diverged: {value['divergence']}")
         recovery.extend(value["recovery_times"])
+        if value.get("profile"):
+            profiles.append(value["profile"])
         for key in totals:
             totals[key] += value[key]
+    profile_summary = None
+    if profiles:
+        from repro.prof.profiler import merge_summaries
+
+        profile_summary = merge_summaries(profiles)
     return {
+        "profile": profile_summary,
         "cells": len(report.results),
         "ok": not violations,
         "violations": violations,
@@ -398,29 +432,40 @@ def summarize_chaos_campaign(report) -> dict:
     }
 
 
-def write_chaos_bench(path: str, summary: dict, label: str = "head",
-                      previous: Optional[dict] = None) -> str:
-    """Atomically persist the campaign gate summary, carrying the
-    trajectory of prior runs (mirrors ``benchkernel.write_bench``)."""
-    from repro.ioutil import atomic_write_json
+#: summary keys that become trajectory-entry metrics
+_ENTRY_METRICS = ("cells", "nondeterministic_cells", "recovery_p50",
+                  "recovery_p95", "recoveries", "evacuations", "rejoins",
+                  "readmits", "heal_failures", "faults_injected", "noops",
+                  "sent", "replies", "client_retries", "wall_seconds")
 
-    trajectory: List[dict] = []
-    if previous is not None:
-        trajectory = list(previous.get("trajectory", ()))
-        if "cells" in previous:
-            trajectory.append({
-                "label": previous.get("label", "previous"),
-                "cells": previous["cells"],
-                "violations": len(previous.get("violations", ())),
-                "evacuations": previous.get("evacuations"),
-                "recovery_p50": previous.get("recovery_p50"),
-                "recovery_p95": previous.get("recovery_p95"),
-            })
-    report = {key: value for key, value in summary.items()
-              if key != "results"}
-    report["label"] = label
-    report["trajectory"] = trajectory
-    return atomic_write_json(path, report, indent=2)
+
+def chaos_entry(summary: dict, label: str = "head",
+                config: Optional[dict] = None) -> dict:
+    """The :mod:`repro.bench` trajectory entry for a campaign summary.
+
+    The primary metric is ``replies`` -- end-to-end client service
+    under the storm -- which is fully deterministic for a fixed config,
+    so the 20 % gate only trips on real behaviour changes.
+    """
+    from repro.bench.schema import make_entry
+
+    metrics = {key: summary.get(key) for key in _ENTRY_METRICS}
+    metrics["violations"] = len(summary.get("violations", ()))
+    metrics["ok"] = bool(summary.get("ok"))
+    return make_entry("chaos.storm", config, metrics,
+                      primary_metric="replies", label=label,
+                      profile=summary.get("profile"))
+
+
+def write_chaos_bench(path: str, summary: dict, label: str = "head",
+                      config: Optional[dict] = None) -> str:
+    """Append the campaign summary to the ``BENCH_chaos.json``
+    trajectory (atomically; a legacy single-snapshot file is migrated
+    on first touch -- mirrors ``benchkernel.write_bench``)."""
+    from repro.bench.schema import append_entry
+
+    append_entry(path, chaos_entry(summary, label=label, config=config))
+    return path
 
 
 def service_summary(result: dict) -> dict:

@@ -14,14 +14,15 @@ from repro.obs.flows import STAGES, FlowTracker, stage_metrics
 
 
 def run_flow_workload(duration: float = 2.0, seed: int = 5,
-                      max_per_category: Optional[int] = None):
+                      max_per_category: Optional[int] = None,
+                      profile: bool = False):
     """The ``repro trace`` workload with span/flow tracking enabled;
     returns the simulator (``sim.flows`` populated)."""
     from repro.analysis.observe import run_observed_workload
 
     sim, _ = run_observed_workload(duration=duration, seed=seed,
                                    max_per_category=max_per_category,
-                                   flows=True)
+                                   flows=True, profile=profile)
     return sim
 
 

@@ -188,27 +188,50 @@ def frontier_gate(summary: dict,
     }
 
 
-def write_mitigation_bench(path: str, summary: dict, label: str = "head",
-                           previous: Optional[dict] = None) -> str:
-    """Atomically persist the frontier, carrying prior runs' trajectory
-    (mirrors ``chaos.write_chaos_bench``)."""
-    from repro.ioutil import atomic_write_json
+def mitigation_entry(summary: dict, label: str = "head",
+                     config: Optional[dict] = None) -> dict:
+    """The :mod:`repro.bench` trajectory entry for a frontier summary.
 
-    trajectory: List[dict] = []
-    if previous is not None:
-        trajectory = list(previous.get("trajectory", ()))
-        if "rows" in previous:
-            trajectory.append({
-                "label": previous.get("label", "previous"),
-                "cells": previous.get("cells"),
-                "failures": len(previous.get("failures", ())),
-                "gate_ok": previous.get("gate", {}).get("ok"),
-            })
-    report = {key: value for key, value in summary.items()
-              if key != "results"}
-    report["label"] = label
-    report["trajectory"] = trajectory
-    return atomic_write_json(path, report, indent=2)
+    When the sanity gate ran, the primary metric is ``margin_bits`` --
+    how much more the undefended baseline leaks than StopWatch on the
+    probing attack.  Leakage estimates are deterministic for a fixed
+    config, so a >20 % margin collapse means the mediation machinery
+    (or the attack) actually changed.
+    """
+    from repro.bench.schema import make_entry
+
+    gate = summary.get("gate", {})
+    metrics: Dict[str, Any] = {
+        "cells": summary.get("cells"),
+        "failures": len(summary.get("failures", ())),
+        "ok": bool(summary.get("ok")),
+        "gate_checked": bool(gate.get("checked")),
+        "gate_ok": bool(gate.get("ok")),
+        "wall_seconds": summary.get("wall_seconds"),
+    }
+    primary = None
+    if gate.get("checked"):
+        metrics["baseline_bits"] = gate.get("baseline_bits")
+        metrics["mitigated_bits"] = gate.get("mitigated_bits")
+        if isinstance(gate.get("baseline_bits"), (int, float)) \
+                and isinstance(gate.get("mitigated_bits"), (int, float)):
+            metrics["margin_bits"] = round(
+                gate["baseline_bits"] - gate["mitigated_bits"], 6)
+            primary = "margin_bits"
+    return make_entry("mitigation.frontier", config, metrics,
+                      primary_metric=primary, label=label)
+
+
+def write_mitigation_bench(path: str, summary: dict, label: str = "head",
+                           config: Optional[dict] = None) -> str:
+    """Append the frontier summary to the ``BENCH_mitigation.json``
+    trajectory (atomically; a legacy single-snapshot file is migrated
+    on first touch -- mirrors ``chaos.write_chaos_bench``)."""
+    from repro.bench.schema import append_entry
+
+    append_entry(path, mitigation_entry(summary, label=label,
+                                        config=config))
+    return path
 
 
 def policy_signature(policy, seed: int = 5, duration: float = 3.0,

@@ -78,9 +78,20 @@ def _percentile(sorted_values: List[float], q: float) -> float:
 
 
 def run_scale_cell(spec: ScenarioSpec, duration: float = 4.0,
-                   seed: int = 1) -> Dict[str, object]:
-    """Run one scenario and report throughput + verification verdicts."""
-    sim = Simulator(seed=seed, trace=Trace(
+                   seed: int = 1,
+                   profile: bool = False) -> Dict[str, object]:
+    """Run one scenario and report throughput + verification verdicts.
+
+    With ``profile=True`` the row carries a ``"profile"`` key: the
+    :class:`~repro.prof.profiler.SubsystemProfiler` summary for the
+    whole cell (build + run + verification), with releases folded into
+    the sim-time timeline.  Profiling is measurement-only -- the egress
+    signature is byte-identical either way (gated in CI).
+    """
+    import time as _time
+
+    cell_started = _time.perf_counter()
+    sim = Simulator(seed=seed, profile=profile, trace=Trace(
         categories=SCALE_TRACE_CATEGORIES, max_per_category=TRACE_CAP))
     sim.flows.enable()
     built = spec.build(sim)
@@ -98,7 +109,7 @@ def run_scale_cell(spec: ScenarioSpec, duration: float = 4.0,
     stats = sim.stats()
     machines, _ = spec.resolved_fleet()
     released = built.cloud.packets_released
-    return {
+    row: Dict[str, object] = {
         "scenario": spec.name,
         "tenants": spec.total_vms,
         "machines": machines,
@@ -123,6 +134,12 @@ def run_scale_cell(spec: ScenarioSpec, duration: float = 4.0,
         "per_tenant_outputs": per_tenant,
         "egress_signature": egress_signature(sim),
     }
+    if profile and sim.profiler is not None:
+        row["profile"] = sim.profiler.summary(
+            loop_seconds=stats["wall_seconds"],
+            total_seconds=_time.perf_counter() - cell_started,
+            release_times=sim.trace.times("egress.release"))
+    return row
 
 
 def scale_sweep(tenant_counts: Sequence[int] = (1, 8, 32),
@@ -132,7 +149,8 @@ def scale_sweep(tenant_counts: Sequence[int] = (1, 8, 32),
                 workload: str = "echo",
                 clients_per_tenant: int = 1,
                 request_rate: float = 40.0,
-                machines: Optional[int] = None) -> List[Dict[str, object]]:
+                machines: Optional[int] = None,
+                profile: bool = False) -> List[Dict[str, object]]:
     """How throughput and mediation delay scale with tenant count.
 
     One row per tenant count (see :func:`run_scale_cell`); the fleet is
@@ -144,5 +162,6 @@ def scale_sweep(tenant_counts: Sequence[int] = (1, 8, 32),
             tenants, shards=shards, workload=workload,
             clients_per_tenant=clients_per_tenant,
             request_rate=request_rate, machines=machines)
-        rows.append(run_scale_cell(spec, duration=duration, seed=seed))
+        rows.append(run_scale_cell(spec, duration=duration, seed=seed,
+                                   profile=profile))
     return rows

@@ -1,0 +1,117 @@
+"""Named benchmarks: one id -> one trajectory-entry producer.
+
+The registry is what ``repro bench run --benchmark <id>`` dispatches
+through.  Ids are dotted: the first segment is the **family** (which
+picks the default ``BENCH_<family>.json`` trajectory file), the rest
+names the cell.  ``kernel.scale<N>`` is parameterised -- any tenant
+count is a valid id -- the rest are fixed cells with overridable
+keyword parameters (``--set key=value`` on the CLI).
+"""
+
+import re
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.bench.schema import make_entry
+
+_KERNEL_SCALE = re.compile(r"^kernel\.scale(\d+)$")
+
+
+class UnknownBenchmark(KeyError):
+    """No registered benchmark matches the requested id."""
+
+
+def default_path(benchmark: str) -> str:
+    """The family trajectory file a benchmark appends to by default."""
+    return f"BENCH_{benchmark.split('.', 1)[0]}.json"
+
+
+# ---------------------------------------------------------------------------
+# entry producers
+# ---------------------------------------------------------------------------
+def _kernel_benchmark(tenants: int, label: str, profile: bool,
+                      **overrides: Any) -> Dict[str, Any]:
+    from repro.analysis.benchkernel import kernel_entry, run_kernel_bench
+
+    params = {"duration": 2.0, "seed": 1, "request_rate": 30.0,
+              "repeats": 2}
+    params.update(overrides)
+    result = run_kernel_bench(tenants=tenants, profile=profile, **params)
+    return kernel_entry(result, label=label)
+
+
+def _chaos_benchmark(label: str, profile: bool,
+                     **overrides: Any) -> Dict[str, Any]:
+    from repro.analysis.chaos import chaos_entry, run_chaos_campaign
+    from repro.sim.rng import derive_root_seed
+
+    params = {"seeds": 2, "seed_base": 101, "scenarios": ("single",),
+              "duration": 3.0, "rate": 1.2, "jobs": 1}
+    params.update(overrides)
+    seeds = [derive_root_seed(int(params.pop("seed_base")), i)
+             for i in range(int(params.pop("seeds")))]
+    scenarios = params.pop("scenarios")
+    if isinstance(scenarios, str):
+        scenarios = tuple(s for s in scenarios.split(",") if s)
+    summary = run_chaos_campaign(seeds=seeds, scenarios=scenarios,
+                                 profile=profile, **params)
+    return chaos_entry(summary, label=label,
+                       config={"seeds": len(seeds),
+                               "scenarios": list(scenarios),
+                               "duration": params["duration"],
+                               "rate": params["rate"]})
+
+
+def _mitigation_benchmark(label: str, profile: bool,
+                          **overrides: Any) -> Dict[str, Any]:
+    from repro.analysis.mitigation import (mitigation_entry,
+                                           mitigation_frontier)
+    from repro.sim.rng import derive_root_seed
+
+    params = {"policies": ("stopwatch", "none"), "attacks": ("probe",),
+              "duration": 3.0, "seeds": 1, "seed_base": 7, "jobs": 1}
+    params.update(overrides)
+    seeds = [derive_root_seed(int(params.pop("seed_base")), i)
+             for i in range(int(params.pop("seeds")))]
+    for key in ("policies", "attacks"):
+        if isinstance(params[key], str):
+            params[key] = tuple(s for s in params[key].split(",") if s)
+    summary = mitigation_frontier(seeds=seeds, **params)
+    return mitigation_entry(summary, label=label,
+                            config={"policies": list(params["policies"]),
+                                    "attacks": list(params["attacks"]),
+                                    "duration": params["duration"],
+                                    "seeds": len(seeds)})
+
+
+#: fixed-id benchmarks (parameterised families are resolved separately)
+BENCHMARKS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "chaos.storm": _chaos_benchmark,
+    "mitigation.frontier": _mitigation_benchmark,
+}
+
+
+def benchmark_names() -> List[str]:
+    return sorted(BENCHMARKS) + ["kernel.scale<N>"]
+
+
+def run_benchmark(benchmark: str, label: str = "head",
+                  profile: bool = False,
+                  overrides: Optional[Dict[str, Any]] = None
+                  ) -> Dict[str, Any]:
+    """Run the named benchmark and return its trajectory entry."""
+    overrides = dict(overrides or {})
+    match = _KERNEL_SCALE.match(benchmark)
+    if match:
+        return _kernel_benchmark(int(match.group(1)), label=label,
+                                 profile=profile, **overrides)
+    runner = BENCHMARKS.get(benchmark)
+    if runner is None:
+        raise UnknownBenchmark(
+            f"unknown benchmark {benchmark!r}; choose from "
+            f"{benchmark_names()}")
+    return runner(label=label, profile=profile, **overrides)
+
+
+# re-exported for callers building ad-hoc entries
+__all__ = ["BENCHMARKS", "UnknownBenchmark", "benchmark_names",
+           "default_path", "make_entry", "run_benchmark"]

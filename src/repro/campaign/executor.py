@@ -96,8 +96,11 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         metrics = (value.get("metrics")
                    if isinstance(value, dict)
                    and isinstance(value.get("metrics"), dict) else None)
+        profile = (value.get("profile")
+                   if isinstance(value, dict)
+                   and isinstance(value.get("profile"), dict) else None)
         return {"status": "ok", "value": value, "metrics": metrics,
-                "error": None, "traceback": None,
+                "profile": profile, "error": None, "traceback": None,
                 "duration": time.perf_counter() - start}
     except TaskTimeout as exc:
         return {"status": "timeout", "value": None, "error": str(exc),
@@ -129,6 +132,10 @@ class CellResult:
     #: value with a "metrics" key) -- persisted through cache and
     #: manifest for cross-seed rollups
     metrics: Optional[Dict[str, Any]] = None
+    #: the runner's repro.prof subsystem summary, when it returned one
+    #: (a dict value with a "profile" key) -- persisted alongside
+    #: metrics so profiled campaigns survive cache hits and resume
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -140,7 +147,7 @@ class CellResult:
                 "seed": self.cell.seed, "status": self.status,
                 "value": self.value, "error": self.error,
                 "duration": self.duration, "attempts": self.attempts,
-                "metrics": self.metrics}
+                "metrics": self.metrics, "profile": self.profile}
 
 
 @dataclass
@@ -261,7 +268,8 @@ class CampaignExecutor:
                             error=outcome.get("error"),
                             duration=outcome.get("duration", 0.0),
                             attempts=attempts, cached=False,
-                            metrics=outcome.get("metrics"))
+                            metrics=outcome.get("metrics"),
+                            profile=outcome.get("profile"))
         results[index] = result
         key = None
         if self.cache is not None:
@@ -274,7 +282,8 @@ class CampaignExecutor:
                 "key": key, "runner": cell.runner, "seed": cell.seed,
                 "params": cell.params, "status": result.status,
                 "cached": False, "duration": result.duration,
-                "attempts": attempts, "metrics": result.metrics})
+                "attempts": attempts, "metrics": result.metrics,
+                "profile": result.profile})
         self.metrics.incr("executed")
         self.metrics.incr(result.status)
         self.metrics.observe("task.duration", result.duration)
@@ -314,7 +323,8 @@ class CampaignExecutor:
                     cell=cell, status="ok", value=record.get("value"),
                     duration=record.get("duration", 0.0),
                     attempts=record.get("attempts", 1), cached=True,
-                    metrics=record.get("metrics"))
+                    metrics=record.get("metrics"),
+                    profile=record.get("profile"))
                 self.metrics.incr("cache.hits")
                 self._emit("campaign.cache.hit", runner=cell.runner,
                            seed=cell.seed)

@@ -19,6 +19,10 @@ Usage::
     python -m repro chaos   [--check-determinism] [--crash-at 0.9]
     python -m repro mitigate [--policies none,stopwatch] [--attacks probe]
     python -m repro scale   [--tenants 1,8,32] [--shards 2] [--spec s.toml]
+    python -m repro bench run --benchmark kernel.scale32 [--profile]
+    python -m repro bench compare --path BENCH_kernel.json --gate
+    python -m repro bench history --path BENCH_kernel.json
+    python -m repro bench migrate BENCH_kernel.json
     python -m repro campaign run examples/fig5_sweep.toml --jobs 0
     python -m repro campaign status examples/fig5_sweep.toml
     python -m repro campaign resume examples/fig5_sweep.toml
@@ -205,11 +209,16 @@ def cmd_metrics(args) -> None:
 
 
 def cmd_spans(args) -> None:
+    import time as _time
+
     from repro.analysis import format_table
     from repro.analysis.flows import flow_summary, run_flow_workload
     from repro.obs import export_perfetto, validate_file
 
-    sim = run_flow_workload(duration=args.duration, seed=args.seed)
+    started = _time.perf_counter()
+    sim = run_flow_workload(duration=args.duration, seed=args.seed,
+                            profile=args.profile)
+    total_seconds = _time.perf_counter() - started
     summary = flow_summary(sim.flows)
     print(f"Spans: {summary['spans']} recorded "
           f"({summary['open_spans']} open, "
@@ -218,10 +227,25 @@ def cmd_spans(args) -> None:
     counts = sim.flows.store.name_counts()
     print(format_table(["span", "count"],
                        sorted(counts.items())))
+    profile = None
+    if args.profile and sim.profiler is not None:
+        profile = sim.profiler.summary(
+            loop_seconds=sim.wall_seconds,
+            total_seconds=total_seconds,
+            release_times=sim.trace.times("egress.release"))
+        from repro.bench.cli import profile_lines
+        for line in profile_lines(profile):
+            print(line)
     if args.perfetto:
-        written = export_perfetto(sim.flows.store, args.perfetto)
+        extra = None
+        if profile is not None:
+            from repro.prof.export import counter_events
+            extra = counter_events(profile)
+        written = export_perfetto(sim.flows.store, args.perfetto,
+                                  extra_events=extra)
         print(f"\nExported {written} duration events to {args.perfetto} "
-              f"(open in https://ui.perfetto.dev)")
+              f"(open in https://ui.perfetto.dev"
+              f"{'; profiler counter tracks merged' if extra else ''})")
         if args.validate:
             problems = validate_file(args.perfetto)
             if problems:
@@ -321,7 +345,6 @@ def cmd_chaos(args) -> None:
 
 def cmd_chaos_campaign(args) -> None:
     import json
-    import os
 
     from repro.analysis.chaos import (CELL_SCENARIOS, run_chaos_campaign,
                                       write_chaos_bench)
@@ -337,16 +360,23 @@ def cmd_chaos_campaign(args) -> None:
     progress = None if args.json else print
     summary = run_chaos_campaign(seeds=seeds, scenarios=scenarios,
                                  duration=duration, rate=args.rate,
-                                 jobs=args.jobs, progress=progress)
-    if args.output:
-        previous = None
-        if os.path.exists(args.output):
-            with open(args.output, "r", encoding="utf-8") as handle:
-                previous = json.load(handle)
-        path = write_chaos_bench(args.output, summary, label=args.label,
-                                 previous=previous)
+                                 jobs=args.jobs, profile=args.profile,
+                                 progress=progress)
+    if args.profile_out:
+        if not summary.get("profile"):
+            raise SystemExit("--profile-out requires --profile")
+        from repro.prof.export import write_speedscope
+        write_speedscope(args.profile_out, summary["profile"],
+                         name="chaos campaign")
         if not args.json:
-            print(f"wrote {path}")
+            print(f"wrote speedscope profile to {args.profile_out}")
+    if args.output:
+        config = {"seeds": args.seeds, "scenarios": scenarios,
+                  "duration": duration, "rate": args.rate}
+        path = write_chaos_bench(args.output, summary, label=args.label,
+                                 config=config)
+        if not args.json:
+            print(f"appended entry to {path}")
     if args.json:
         print(json.dumps(summary, indent=2, default=repr))
     else:
@@ -365,6 +395,10 @@ def cmd_chaos_campaign(args) -> None:
               f"{summary['heal_failures']} gave up; {recovery}")
         print(f"Service: {summary['replies']}/{summary['sent']} pings "
               f"answered, {summary['client_retries']} client retries")
+        if summary.get("profile"):
+            from repro.bench.cli import profile_lines
+            for line in profile_lines(summary["profile"]):
+                print(line)
         if summary["ok"]:
             print(f"Invariants: PASS -- placement, liveness and hygiene "
                   f"held in all {summary['cells']} cells; "
@@ -380,7 +414,6 @@ def cmd_chaos_campaign(args) -> None:
 
 def cmd_mitigate(args) -> None:
     import json
-    import os
 
     from repro.analysis import format_table
     from repro.analysis.mitigation import (ATTACK_NAMES,
@@ -407,15 +440,13 @@ def cmd_mitigate(args) -> None:
         seeds=seeds, bins=args.bins, workload=args.workload,
         jobs=args.jobs, progress=progress)
     if args.output:
-        previous = None
-        if os.path.exists(args.output):
-            with open(args.output, "r", encoding="utf-8") as handle:
-                previous = json.load(handle)
+        config = {"policies": policies, "attacks": attacks,
+                  "duration": args.duration, "seeds": args.seeds,
+                  "bins": args.bins, "workload": args.workload}
         path = write_mitigation_bench(args.output, summary,
-                                      label=args.label,
-                                      previous=previous)
+                                      label=args.label, config=config)
         if not args.json:
-            print(f"wrote {path}")
+            print(f"appended entry to {path}")
     if args.json:
         print(json.dumps(summary, indent=2, default=repr))
     else:
@@ -457,13 +488,14 @@ def cmd_scale(args) -> None:
         if args.shards is not None:
             spec.shards = args.shards
         rows = [run_scale_cell(spec, duration=args.duration,
-                               seed=args.seed)]
+                               seed=args.seed, profile=args.profile)]
     else:
         rows = scale_sweep(
             tenant_counts=_ints(args.tenants), duration=args.duration,
             seed=args.seed, shards=args.shards or 1,
             workload=args.workload, clients_per_tenant=args.clients,
-            request_rate=args.rate, machines=args.machines)
+            request_rate=args.rate, machines=args.machines,
+            profile=args.profile)
 
     print("Multi-tenant scale sweep (mediation = ingress admission -> "
           "egress release)")
@@ -476,6 +508,22 @@ def cmd_scale(args) -> None:
           round(r["mediation_p95"] * 1000, 3),
           "yes" if r["placement_verified"] else "NO",
           "yes" if r["outputs_consistent"] else "NO") for r in rows]))
+
+    if args.profile:
+        from repro.bench.cli import profile_lines
+        from repro.prof.profiler import merge_summaries
+        profiles = [row["profile"] for row in rows if row.get("profile")]
+        merged = profiles[0] if len(profiles) == 1 \
+            else merge_summaries(profiles)
+        for line in profile_lines(merged):
+            print(line)
+        if args.profile_out:
+            from repro.prof.export import write_speedscope
+            write_speedscope(args.profile_out, merged, name="repro scale")
+            print(f"wrote speedscope profile to {args.profile_out} "
+                  f"(open in https://www.speedscope.app)")
+    elif args.profile_out:
+        raise SystemExit("--profile-out requires --profile")
 
     failed = False
     for row in rows:
@@ -521,7 +569,8 @@ def cmd_bench_kernel(args) -> None:
 
     result = run_kernel_bench(
         tenants=args.tenants, duration=args.duration, seed=args.seed,
-        request_rate=args.rate, repeats=args.repeats)
+        request_rate=args.rate, repeats=args.repeats,
+        profile=args.profile)
     print(f"{result['benchmark']}: "
           f"{result['events_per_cpu_second']:.0f} events/CPU-s "
           f"({result['events_per_second']:.0f} events/wall-s), "
@@ -533,6 +582,19 @@ def cmd_bench_kernel(args) -> None:
           f"mediation p95 {result['mediation_p95'] * 1000:.3f} ms")
     print(f"determinism: {args.repeats} warm repeats, egress signature "
           f"{result['egress_signature'][:16]}... identical")
+    if args.profile:
+        from repro.bench.cli import profile_lines
+        print("profiled extra repeat: egress signature byte-identical")
+        for line in profile_lines(result["profile"]):
+            print(line)
+        if args.profile_out:
+            from repro.prof.export import write_speedscope
+            write_speedscope(args.profile_out, result["profile"],
+                             name=result["benchmark"])
+            print(f"wrote speedscope profile to {args.profile_out} "
+                  f"(open in https://www.speedscope.app)")
+    elif args.profile_out:
+        raise SystemExit("--profile-out requires --profile")
 
     baseline_path = args.baseline or args.output
     baseline = load_bench(baseline_path)
@@ -546,21 +608,19 @@ def cmd_bench_kernel(args) -> None:
             except BenchError as exc:
                 print(f"FAIL: {exc}")
                 raise SystemExit(1)
-            print(f"regression gate: PASS (baseline "
-                  f"{baseline['events_per_cpu_second']:.0f} events/CPU-s "
-                  f"from {baseline_path})")
+            print(f"regression gate: PASS vs trajectory at "
+                  f"{baseline_path} "
+                  f"({len(baseline.get('entries', ()))} entries)")
     if not args.no_write:
-        previous = load_bench(args.output)
-        path = write_bench(args.output, result, label=args.label,
-                           previous=previous)
-        print(f"wrote {path}")
+        path = write_bench(args.output, result, label=args.label)
+        print(f"appended entry to {path}")
 
 
 def cmd_list(args) -> None:
     from repro.analysis.experiments import RUNNERS
     print("Available experiments: fig1 fig4 fig5 fig6 fig7 fig8 "
           "placement offsets covert collab trace metrics spans flows "
-          "chaos mitigate scale bench-kernel campaign")
+          "chaos mitigate scale bench-kernel bench campaign")
     print("Campaign runners: " + " ".join(sorted(RUNNERS)))
 
 
@@ -644,6 +704,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--validate", action="store_true",
                    help="validate the exported trace (with --perfetto); "
                         "non-zero exit on failure")
+    p.add_argument("--profile", action="store_true",
+                   help="attribute CPU to subsystems; with --perfetto, "
+                        "merge counter tracks into the span trace")
     p.set_defaults(fn=cmd_spans)
 
     p = sub.add_parser("flows", help="per-flow mediation-delay "
@@ -694,6 +757,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaign: label recorded in --output")
     p.add_argument("--json", action="store_true",
                    help="campaign: print the full summary as JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="campaign: profile each cell's primary run and "
+                        "report merged subsystem CPU attribution "
+                        "(measurement-only)")
+    p.add_argument("--profile-out", default=None, metavar="JSON",
+                   help="campaign: write the merged profile as "
+                        "speedscope JSON (requires --profile)")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("mitigate", help="leakage-vs-overhead frontier: "
@@ -751,6 +821,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "homogeneous sweep")
     p.add_argument("--once", action="store_true",
                    help="skip the same-seed determinism re-run")
+    p.add_argument("--profile", action="store_true",
+                   help="profile each cell and report subsystem CPU "
+                        "attribution (measurement-only; the determinism "
+                        "re-run still passes)")
+    p.add_argument("--profile-out", default=None, metavar="JSON",
+                   help="write the profile as speedscope JSON "
+                        "(requires --profile)")
     p.set_defaults(fn=cmd_scale)
 
     p = sub.add_parser("bench-kernel", help="event-loop throughput on "
@@ -778,7 +855,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-write", action="store_true",
                    help="measure and gate only; leave the artifact "
                         "untouched")
+    p.add_argument("--profile", action="store_true",
+                   help="run one extra profiled repeat (headline "
+                        "metrics stay unprofiled; the profiled run's "
+                        "egress signature must match byte-for-byte)")
+    p.add_argument("--profile-out", default=None, metavar="JSON",
+                   help="write the profile as speedscope JSON "
+                        "(requires --profile)")
     p.set_defaults(fn=cmd_bench_kernel)
+
+    from repro.bench.cli import add_bench_parser
+    add_bench_parser(sub)
 
     from repro.campaign.cli import add_campaign_parser
     add_campaign_parser(sub)

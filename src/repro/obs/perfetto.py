@@ -71,12 +71,21 @@ def perfetto_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
     return events
 
 
-def export_perfetto(spans: Iterable[Span], path: str) -> int:
+def export_perfetto(spans: Iterable[Span], path: str,
+                    extra_events: Optional[List[Dict[str, Any]]] = None
+                    ) -> int:
     """Write the trace-event JSON atomically; returns the number of
-    ``X`` events written."""
+    ``X`` events written.
+
+    ``extra_events`` are appended verbatim -- the profiler's counter
+    tracks (:func:`repro.prof.export.counter_events`) ride along here
+    so flow spans and performance counters land in one trace.
+    """
     from repro.ioutil import atomic_write_text
 
     events = perfetto_events(spans)
+    if extra_events:
+        events.extend(extra_events)
     atomic_write_text(path, json.dumps(events, indent=1, default=str))
     return sum(1 for event in events if event.get("ph") == "X")
 
@@ -91,6 +100,8 @@ def validate_perfetto(events: List[Any],
 
     * non-empty, with at least one ``X`` duration event
     * every ``X`` event has numeric ``pid``/``tid``/``ts``/``dur``
+    * every ``C`` counter event has a numeric ``ts`` and a numeric
+      ``args.value`` (the profiler's counter tracks)
     * for every flow with a root ``flow`` event, the ``critical=True``
       stage events sum to the root's duration within ``tolerance``
       (microseconds) -- the critical-path telescoping invariant
@@ -102,6 +113,15 @@ def validate_perfetto(events: List[Any],
                 and e.get("ph") == "X"]
     if not x_events:
         return ["trace contains no duration (ph=X) events"]
+    for i, event in enumerate(e for e in events if isinstance(e, dict)
+                              and e.get("ph") == "C"):
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"C event #{i} ({event.get('name')!r}) "
+                            f"missing or non-numeric 'ts'")
+        value = (event.get("args") or {}).get("value")
+        if not isinstance(value, (int, float)):
+            problems.append(f"C event #{i} ({event.get('name')!r}) "
+                            f"missing or non-numeric args.value")
     flow_roots: Dict[str, float] = {}
     critical_sums: Dict[str, float] = {}
     critical_counts: Dict[str, int] = {}

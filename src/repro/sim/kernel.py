@@ -232,8 +232,12 @@ class Simulator:
     a new component never perturbs the draws of existing ones.
 
     With ``profile=True`` every callback's host wall time is accumulated
-    per callback qualname (see :meth:`stats`); the default keeps the hot
-    loop uninstrumented.
+    by a :class:`~repro.prof.profiler.SubsystemProfiler` (exposed as
+    :attr:`profiler`; pass an instance instead of ``True`` to tune the
+    timeline geometry).  :meth:`stats` then reports per-callback and
+    per-subsystem attribution; the default keeps the hot loop
+    uninstrumented.  Profiling is measurement-only: event order, RNG
+    draws and every trace are byte-identical with it on or off.
 
     ``bucket_width``/``span_slots`` tune the calendar geometry (seconds
     per slot, slots per window); the defaults suit the fleet benchmarks
@@ -291,8 +295,15 @@ class Simulator:
         self.bucket_high_water: int = 0
         self.far_high_water: int = 0
         self.wall_seconds: float = 0.0
-        self.profile = profile
-        self.profile_stats: Dict[str, List[float]] = {}
+        self.profile = bool(profile)
+        #: subsystem-attributed profiler (repro.prof), present only when
+        #: profiling -- measurement only, never perturbs event order
+        self.profiler = None
+        if self.profile:
+            from repro.prof.profiler import SubsystemProfiler
+            self.profiler = (profile if isinstance(profile,
+                                                   SubsystemProfiler)
+                             else SubsystemProfiler())
         # cached classes: the hot paths must not pay import-machinery
         # lookups per call (Timeout is created ~1e5 times per sim second)
         self._event_cls = Event
@@ -483,17 +494,11 @@ class Simulator:
         entry[2] = None
         entry[3] = ()
         entry[5] = None   # break reference cycles (incl. entry->simulator)
-        if self.profile:
+        if self.profiler is not None:
             started = _time.perf_counter()
             fn(*args)
-            elapsed = _time.perf_counter() - started
-            key = getattr(fn, "__qualname__", None) or repr(fn)
-            stats = self.profile_stats.get(key)
-            if stats is None:
-                self.profile_stats[key] = [1, elapsed]
-            else:
-                stats[0] += 1
-                stats[1] += elapsed
+            self.profiler.record(fn, _time.perf_counter() - started,
+                                 self.now, self._size)
         else:
             fn(*args)
         return True
@@ -614,14 +619,20 @@ class Simulator:
             "trace_dropped": getattr(self.trace, "dropped", 0),
             "metric_counters": dict(self.metrics.counters),
         }
-        if self.profile:
-            report["profile"] = {
-                key: {"calls": calls, "seconds": seconds}
-                for key, (calls, seconds)
-                in sorted(self.profile_stats.items(),
-                          key=lambda item: item[1][1], reverse=True)
-            }
+        if self.profiler is not None:
+            report["profile"] = self.profiler.by_callback()
+            report["profile_subsystems"] = self.profiler.summary(
+                loop_seconds=self.wall_seconds)["subsystems"]
         return report
+
+    @property
+    def profile_stats(self) -> Dict[str, List[float]]:
+        """Per-callback ``{qualname: [calls, seconds]}`` (PR-1 shape);
+        empty when profiling is off."""
+        if self.profiler is None:
+            return {}
+        return {name: [row["calls"], row["seconds"]]
+                for name, row in self.profiler.by_callback().items()}
 
     def __repr__(self) -> str:
         return (f"<Simulator now={self.now:.6f} "

@@ -5,12 +5,33 @@ import json
 import pytest
 
 from repro.analysis.benchkernel import (BenchError, check_regression,
-                                        load_bench, run_kernel_bench,
-                                        write_bench)
+                                        kernel_entry, load_bench,
+                                        run_kernel_bench, write_bench)
+from repro.bench.schema import (TRAJECTORY_SCHEMA, empty_trajectory,
+                                make_entry)
+
+CONFIG = {"tenants": 32, "duration": 2.0, "seed": 1,
+          "request_rate": 30.0}
 
 
-def small_bench():
-    return run_kernel_bench(tenants=2, duration=0.2, seed=3, repeats=2)
+def small_bench(**kwargs):
+    params = dict(tenants=2, duration=0.2, seed=3, repeats=2)
+    params.update(kwargs)
+    return run_kernel_bench(**params)
+
+
+def entry(eps, config=None, signature="a" * 64, label="head"):
+    return make_entry("kernel.scale32", config or dict(CONFIG),
+                      {"events_per_cpu_second": eps},
+                      primary_metric="events_per_cpu_second",
+                      egress_signature=signature, label=label)
+
+
+def baseline(eps=100_000.0, signature="a" * 64):
+    trajectory = empty_trajectory()
+    trajectory["entries"].append(entry(eps, signature=signature,
+                                       label="base"))
+    return trajectory
 
 
 class TestRunKernelBench:
@@ -27,56 +48,97 @@ class TestRunKernelBench:
         assert first["events_fired"] == second["events_fired"]
         assert first["egress_signature"] == second["egress_signature"]
         assert "repeats" not in result["config"]
+        assert "profile" not in result
 
     def test_repeats_must_be_positive(self):
         with pytest.raises(ValueError):
             run_kernel_bench(repeats=0)
 
+    def test_profiled_repeat_attaches_summary_same_signature(self):
+        result = small_bench(repeats=1, profile=True)
+        profile = result["profile"]
+        assert profile["events"] > 0
+        assert profile["subsystems"]
+        # total attribution: subsystem seconds sum to the cell total
+        assert sum(profile["subsystems"].values()) == pytest.approx(
+            profile["total_seconds"], rel=1e-6)
+        # run_kernel_bench itself asserts signature equality; reaching
+        # here means the profiled repeat was byte-identical
+        assert result["deterministic"] is True
+
+
+class TestKernelEntry:
+    def test_entry_shape(self):
+        result = small_bench()
+        made = kernel_entry(result, label="v1")
+        assert made["benchmark"] == "kernel.scale2"
+        assert made["label"] == "v1"
+        assert made["config"] == result["config"]
+        assert made["primary_metric"] == "events_per_cpu_second"
+        assert made["egress_signature"] == result["egress_signature"]
+        assert made["metrics"]["events_fired"] == result["events_fired"]
+        assert "profile" not in made
+
 
 class TestRegressionGate:
-    def baseline(self, eps=100_000.0):
-        return {"config": {"tenants": 32, "duration": 2.0, "seed": 1,
-                           "request_rate": 30.0},
-                "events_per_cpu_second": eps}
-
-    def result(self, eps):
-        return dict(self.baseline(eps))
-
     def test_within_tolerance_passes(self):
-        check_regression(self.result(85_000.0), self.baseline())
-        check_regression(self.result(120_000.0), self.baseline())
+        check_regression(entry(85_000.0), baseline())
+        check_regression(entry(120_000.0), baseline())
 
     def test_regression_beyond_tolerance_fails(self):
         with pytest.raises(BenchError, match="regressed"):
-            check_regression(self.result(70_000.0), self.baseline())
+            check_regression(entry(70_000.0), baseline())
 
     def test_config_mismatch_is_an_error_not_a_pass(self):
-        other = self.result(200_000.0)
-        other["config"] = dict(other["config"], tenants=8)
+        other = entry(200_000.0, config=dict(CONFIG, tenants=8))
         with pytest.raises(BenchError, match="config"):
-            check_regression(other, self.baseline())
+            check_regression(other, baseline())
+
+    def test_signature_change_fails(self):
+        with pytest.raises(BenchError, match="signature"):
+            check_regression(entry(100_000.0, signature="b" * 64),
+                             baseline())
 
 
 class TestWriteBench:
-    def test_atomic_write_and_trajectory_carry(self, tmp_path):
+    def test_append_only_trajectory(self, tmp_path):
         path = str(tmp_path / "BENCH_kernel.json")
         first = small_bench()
         write_bench(path, first, label="v1")
         loaded = load_bench(path)
-        assert loaded["label"] == "v1"
-        assert loaded["trajectory"] == []
+        assert loaded["schema"] == TRAJECTORY_SCHEMA
+        assert [e["label"] for e in loaded["entries"]] == ["v1"]
 
         second = small_bench()
-        write_bench(path, second, label="v2", previous=loaded)
+        write_bench(path, second, label="v2")
         loaded = load_bench(path)
-        assert loaded["label"] == "v2"
-        assert [entry["label"] for entry in loaded["trajectory"]] == ["v1"]
-        assert loaded["trajectory"][0]["events_per_cpu_second"] == \
-            first["events_per_cpu_second"]
+        assert [e["label"] for e in loaded["entries"]] == ["v1", "v2"]
+        assert loaded["entries"][0]["metrics"]["events_per_cpu_second"] \
+            == first["events_per_cpu_second"]
         # the file is well-formed JSON ending in a newline (atomic writer)
         raw = open(path, encoding="utf-8").read()
         assert raw.endswith("\n")
         json.loads(raw)
+
+    def test_legacy_snapshot_migrates_on_append(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        legacy = {
+            "benchmark": "kernel.scale2", "label": "old",
+            "config": {"tenants": 2, "duration": 0.2, "seed": 3,
+                       "request_rate": 30.0},
+            "events_per_cpu_second": 50_000.0, "events_fired": 100,
+            "egress_signature": "c" * 64,
+            "trajectory": [{"label": "older",
+                            "events_per_cpu_second": 30_000.0}],
+        }
+        path.write_text(json.dumps(legacy))
+        result = small_bench()
+        write_bench(str(path), result, label="new")
+        loaded = load_bench(str(path))
+        assert loaded["schema"] == TRAJECTORY_SCHEMA
+        assert [e["label"] for e in loaded["entries"]] == \
+            ["older", "old", "new"]
+        assert loaded["entries"][1]["egress_signature"] == "c" * 64
 
     def test_load_missing_returns_none(self, tmp_path):
         assert load_bench(str(tmp_path / "absent.json")) is None

@@ -121,13 +121,21 @@ class TestSummary:
 
     def test_bench_artifact_round_trip(self, tmp_path):
         summary = summarize_chaos_campaign(self.fake_report())
-        path = tmp_path / "BENCH_chaos.json"
-        write_chaos_bench(path, summary, label="head")
-        first = json.loads(path.read_text())
-        assert first["label"] == "head"
-        assert "results" not in first   # per-cell bulk stays out
-        assert first["cells"] == 2
-        # trajectory carry: a second write appends the first summary
-        write_chaos_bench(path, summary, label="next", previous=first)
-        second = json.loads(path.read_text())
-        assert [t["label"] for t in second["trajectory"]] == ["head"]
+        path = str(tmp_path / "BENCH_chaos.json")
+        write_chaos_bench(path, summary, label="head",
+                          config={"seeds": 2, "scenarios": ["single"]})
+        first = json.loads(open(path, encoding="utf-8").read())
+        assert first["schema"] == "repro.bench.trajectory/1"
+        assert [e["label"] for e in first["entries"]] == ["head"]
+        head = first["entries"][0]
+        assert head["benchmark"] == "chaos.storm"
+        assert head["primary_metric"] == "replies"
+        assert head["metrics"]["violations"] == 1
+        assert head["metrics"]["replies"] == 14
+        assert "results" not in head   # per-cell bulk stays out
+        # append-only: a second write adds an entry, rewrites nothing
+        write_chaos_bench(path, summary, label="next",
+                          config={"seeds": 2, "scenarios": ["single"]})
+        second = json.loads(open(path, encoding="utf-8").read())
+        assert [e["label"] for e in second["entries"]] == \
+            ["head", "next"]

@@ -87,22 +87,27 @@ def test_gate_vacuous_without_both_policies():
     assert gate["ok"]
 
 
-def test_write_bench_carries_trajectory(tmp_path):
+def test_write_bench_appends_trajectory_entries(tmp_path):
     summary = {"cells": 2, "failures": [], "rows": [],
-               "gate": {"checked": True, "ok": True},
+               "gate": {"checked": True, "ok": True,
+                        "baseline_bits": 0.5, "mitigated_bits": 0.1},
                "ok": True, "wall_seconds": 1.0,
                "results": [{"should": "be stripped"}]}
     path = tmp_path / "BENCH_mitigation.json"
     write_mitigation_bench(str(path), summary, label="first")
     first = json.loads(path.read_text())
-    assert first["label"] == "first"
-    assert first["trajectory"] == []
-    assert "results" not in first
-    write_mitigation_bench(str(path), summary, label="second",
-                           previous=first)
+    assert first["schema"] == "repro.bench.trajectory/1"
+    assert [e["label"] for e in first["entries"]] == ["first"]
+    head = first["entries"][0]
+    assert head["benchmark"] == "mitigation.frontier"
+    assert head["primary_metric"] == "margin_bits"
+    assert head["metrics"]["margin_bits"] == pytest.approx(0.4)
+    assert head["metrics"]["gate_ok"] is True
+    assert "results" not in head
+    write_mitigation_bench(str(path), summary, label="second")
     second = json.loads(path.read_text())
-    assert second["label"] == "second"
-    assert [t["label"] for t in second["trajectory"]] == ["first"]
+    assert [e["label"] for e in second["entries"]] == \
+        ["first", "second"]
 
 
 def test_example_spec_loads_and_names_registered_runner():

@@ -35,6 +35,19 @@ def metric_rows(seed: int = 0) -> dict:
             "metrics": metrics.snapshot()}
 
 
+def profiled_rows(seed: int = 0) -> dict:
+    """A runner returning rows plus a repro.prof summary -- the shape
+    profiled chaos/scale cells hand the executor."""
+    return {"rows": [["m", 1.0 + seed]],
+            "profile": {"schema": "repro.prof/1",
+                        "events": 10 + seed,
+                        "attributed_seconds": 0.5,
+                        "subsystems": {"kernel": 0.3, "net": 0.2},
+                        "hottest": [], "callbacks": [],
+                        "timeline": {"bucket_width": 0.05,
+                                     "buckets": []}}}
+
+
 def boom(seed: int = 0) -> list:
     raise RuntimeError(f"boom (seed={seed})")
 

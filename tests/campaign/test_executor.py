@@ -152,6 +152,25 @@ class TestCacheIntegration:
         assert second.results[0].ok
         assert second.cache_hits == 0
 
+    def test_profile_summary_persists_through_cache_and_manifest(
+            self, tmp_path):
+        from repro.ioutil import read_jsonl
+        manifest = str(tmp_path / "manifest.jsonl")
+        spec = _spec("profiled_rows", seeds=[3])
+        cache = ResultCache(str(tmp_path / "cache"), fingerprint="fp")
+        first = CampaignExecutor(spec, cache, inline=True,
+                                 manifest_path=manifest).run()
+        result = first.results[0]
+        assert result.profile["subsystems"] == {"kernel": 0.3,
+                                                "net": 0.2}
+        assert result.profile["events"] == 13
+        rows = list(read_jsonl(manifest))
+        assert rows[0]["profile"]["subsystems"]["kernel"] == 0.3
+        # the profile survives a cache hit on resume
+        second = CampaignExecutor(spec, cache, inline=True).run()
+        assert second.results[0].cached
+        assert second.results[0].profile == result.profile
+
     def test_manifest_is_appended(self, tmp_path):
         from repro.ioutil import read_jsonl
         manifest = str(tmp_path / "manifest.jsonl")

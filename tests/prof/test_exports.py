@@ -1,0 +1,124 @@
+"""Profile export formats and their structural validators."""
+
+import json
+
+import pytest
+
+from repro.prof.export import (collapsed_stacks, counter_events,
+                               speedscope_document, validate_collapsed,
+                               validate_speedscope,
+                               validate_speedscope_file, write_collapsed,
+                               write_speedscope)
+from repro.prof.profiler import SubsystemProfiler
+from repro.sim.kernel import Simulator
+
+
+def sample_summary():
+    prof = SubsystemProfiler(timeline_width=0.1)
+    sim = Simulator()
+    prof.record(sim.stop, 0.4, 0.05, 3)
+    prof.record(sorted, 0.1, 0.15, 5)
+    return prof.summary(loop_seconds=0.6, total_seconds=0.8,
+                        release_times=[0.06, 0.17])
+
+
+class TestCollapsed:
+    def test_lines_are_subsystem_module_callback_weight(self):
+        text = collapsed_stacks(sample_summary())
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        kernel_line = next(l for l in lines if l.startswith("kernel;"))
+        stack, weight = kernel_line.rsplit(" ", 1)
+        assert stack.split(";")[1] == "repro.sim.kernel"
+        assert int(weight) == 400_000   # 0.4 s in us
+        assert validate_collapsed(text) == []
+
+    def test_sub_microsecond_callbacks_keep_weight_one(self):
+        prof = SubsystemProfiler()
+        prof.record(sorted, 1e-9, 0.0, 1)
+        text = collapsed_stacks(prof.summary())
+        assert text.strip().endswith(" 1")
+        assert validate_collapsed(text) == []
+
+    @pytest.mark.parametrize("text", [
+        "", "no-weight-line\n", "stack notanumber\n", "stack -3\n",
+        "a;;b 5\n",
+    ])
+    def test_validator_rejects_malformed(self, text):
+        assert validate_collapsed(text) != []
+
+    def test_write_collapsed_roundtrip(self, tmp_path):
+        path = str(tmp_path / "profile.collapsed")
+        write_collapsed(path, sample_summary())
+        assert validate_collapsed(open(path).read()) == []
+
+    def test_write_refuses_empty_profile(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_collapsed(str(tmp_path / "x"), {"callbacks": []})
+
+
+class TestSpeedscope:
+    def test_document_is_valid_and_weights_telescope(self):
+        doc = speedscope_document(sample_summary())
+        assert validate_speedscope(doc) == []
+        (profile,) = doc["profiles"]
+        assert profile["endValue"] == pytest.approx(0.5)
+        assert len(profile["samples"]) == len(profile["weights"]) == 2
+        # every sample opens with its subsystem frame
+        frames = doc["shared"]["frames"]
+        roots = {frames[s[0]]["name"] for s in profile["samples"]}
+        assert roots == {"kernel", "other"}
+
+    def test_validator_catches_structural_breakage(self):
+        doc = speedscope_document(sample_summary())
+        assert validate_speedscope({"nope": 1}) != []
+
+        bad = json.loads(json.dumps(doc))
+        bad["profiles"][0]["samples"][0] = [999]
+        assert any("out of range" in p for p in validate_speedscope(bad))
+
+        bad = json.loads(json.dumps(doc))
+        bad["profiles"][0]["weights"].append(1.0)
+        assert any("samples vs" in p for p in validate_speedscope(bad))
+
+        bad = json.loads(json.dumps(doc))
+        bad["profiles"][0]["endValue"] = 99.0
+        assert any("spans" in p for p in validate_speedscope(bad))
+
+    def test_file_roundtrip_and_parse_failure(self, tmp_path):
+        path = str(tmp_path / "profile.speedscope.json")
+        write_speedscope(path, sample_summary(), name="unit")
+        assert validate_speedscope_file(path) == []
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert validate_speedscope_file(str(broken)) != []
+
+
+class TestCounterEvents:
+    def test_counters_follow_the_timeline(self):
+        events = counter_events(sample_summary())
+        counters = [e for e in events if e["ph"] == "C"]
+        # 2 populated buckets x 4 tracks
+        assert len(counters) == 8
+        assert all(isinstance(e["args"]["value"], (int, float))
+                   for e in counters)
+        eps = [e for e in counters if e["name"] == "events_per_sec"]
+        assert eps[0]["args"]["value"] == pytest.approx(10.0)  # 1/0.1s
+        rel = [e for e in counters if e["name"] == "releases_per_sec"]
+        assert rel[0]["args"]["value"] == pytest.approx(10.0)
+
+    def test_no_timeline_means_no_events(self):
+        assert counter_events({"timeline": {"bucket_width": None,
+                                            "buckets": []}}) == []
+
+    def test_counters_merge_into_a_valid_perfetto_trace(self, tmp_path):
+        from repro.analysis.flows import run_flow_workload
+        from repro.obs import export_perfetto, validate_file
+
+        sim = run_flow_workload(duration=0.5, seed=5)
+        path = str(tmp_path / "merged.json")
+        export_perfetto(sim.flows.store, path,
+                        extra_events=counter_events(sample_summary()))
+        assert validate_file(path) == []
+        doc = json.load(open(path))
+        assert any(e.get("ph") == "C" for e in doc)
