@@ -469,6 +469,12 @@ def _register_chaos_runner() -> None:
     RUNNERS["chaos_cell"] = run_chaos_cell
 
 
+def _register_storage_runner() -> None:
+    from repro.analysis.storage import run_storage_repair_cell
+
+    RUNNERS["storage_repair"] = run_storage_repair_cell
+
+
 def _register_mitigation_runner() -> None:
     from repro.analysis.mitigation import (mitigation_frontier,
                                            run_mitigation_cell)
@@ -481,4 +487,5 @@ _register_flow_runner()
 _register_scale_runner()
 _register_bench_runner()
 _register_chaos_runner()
+_register_storage_runner()
 _register_mitigation_runner()

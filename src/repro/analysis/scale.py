@@ -45,8 +45,15 @@ def build_scale_spec(tenants: int,
                      clients_per_tenant: int = 1,
                      request_rate: float = 40.0,
                      machines: Optional[int] = None,
-                     name: Optional[str] = None) -> ScenarioSpec:
-    """A homogeneous ``tenants``-VM scenario for one sweep cell."""
+                     name: Optional[str] = None,
+                     workload_params: Optional[Dict[str, object]] = None
+                     ) -> ScenarioSpec:
+    """A homogeneous ``tenants``-VM scenario for one sweep cell.
+
+    ``workload`` is any name in :mod:`repro.workloads.registry`;
+    ``workload_params`` overrides that workload's declared defaults
+    (e.g. ``{"k": 2, "n": 3}`` for ``storage``).
+    """
     return ScenarioSpec(
         name=name or f"scale-{tenants}",
         machines=machines,
@@ -54,7 +61,8 @@ def build_scale_spec(tenants: int,
         tenants=[TenantSpec(name="tenant", count=tenants,
                             workload=workload,
                             clients=clients_per_tenant,
-                            request_rate=request_rate)],
+                            request_rate=request_rate,
+                            workload_params=dict(workload_params or {}))],
     )
 
 
@@ -150,18 +158,23 @@ def scale_sweep(tenant_counts: Sequence[int] = (1, 8, 32),
                 clients_per_tenant: int = 1,
                 request_rate: float = 40.0,
                 machines: Optional[int] = None,
-                profile: bool = False) -> List[Dict[str, object]]:
+                profile: bool = False,
+                workload_params: Optional[Dict[str, object]] = None
+                ) -> List[Dict[str, object]]:
     """How throughput and mediation delay scale with tenant count.
 
     One row per tenant count (see :func:`run_scale_cell`); the fleet is
-    auto-sized per cell unless ``machines`` pins it.
+    auto-sized per cell unless ``machines`` pins it.  Any registry
+    workload name is accepted; ``workload_params`` is forwarded to
+    every tenant in the sweep.
     """
     rows = []
     for tenants in tenant_counts:
         spec = build_scale_spec(
             tenants, shards=shards, workload=workload,
             clients_per_tenant=clients_per_tenant,
-            request_rate=request_rate, machines=machines)
+            request_rate=request_rate, machines=machines,
+            workload_params=workload_params)
         rows.append(run_scale_cell(spec, duration=duration, seed=seed,
                                    profile=profile))
     return rows

@@ -83,10 +83,27 @@ def _mitigation_benchmark(label: str, profile: bool,
                                     "seeds": len(seeds)})
 
 
+def _storage_benchmark(label: str, profile: bool,
+                       **overrides: Any) -> Dict[str, Any]:
+    from repro.analysis.storage import (run_storage_repair_cell,
+                                        storage_entry)
+
+    params = {"seed": 7, "duration": 6.0, "k": 2, "n": 3,
+              "object_size": 8192, "objects": 3, "crash_at": 1.2}
+    params.update(overrides)
+    result = run_storage_repair_cell(profile=profile, **params)
+    return storage_entry(result, label=label,
+                         config={key: params[key]
+                                 for key in ("seed", "duration", "k", "n",
+                                             "object_size", "objects",
+                                             "crash_at")})
+
+
 #: fixed-id benchmarks (parameterised families are resolved separately)
 BENCHMARKS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "chaos.storm": _chaos_benchmark,
     "mitigation.frontier": _mitigation_benchmark,
+    "storage.repair": _storage_benchmark,
 }
 
 

@@ -481,8 +481,10 @@ def cmd_scale(args) -> None:
     from repro.analysis import format_table
     from repro.analysis.scale import (build_scale_spec, run_scale_cell,
                                       scale_sweep)
+    from repro.bench.cli import _parse_set
     from repro.cloud.scenario import ScenarioSpec
 
+    workload_params = _parse_set(args.workload_param)
     if args.spec:
         spec = ScenarioSpec.from_file(args.spec)
         if args.shards is not None:
@@ -495,7 +497,7 @@ def cmd_scale(args) -> None:
             seed=args.seed, shards=args.shards or 1,
             workload=args.workload, clients_per_tenant=args.clients,
             request_rate=args.rate, machines=args.machines,
-            profile=args.profile)
+            profile=args.profile, workload_params=workload_params)
 
     print("Multi-tenant scale sweep (mediation = ingress admission -> "
           "egress release)")
@@ -547,7 +549,8 @@ def cmd_scale(args) -> None:
                     row["tenants"], shards=args.shards or 1,
                     workload=args.workload,
                     clients_per_tenant=args.clients,
-                    request_rate=args.rate, machines=args.machines)
+                    request_rate=args.rate, machines=args.machines,
+                    workload_params=workload_params)
             rerun = run_scale_cell(spec, duration=args.duration,
                                    seed=args.seed)
             if rerun["egress_signature"] != row["egress_signature"]:
@@ -559,6 +562,86 @@ def cmd_scale(args) -> None:
                       f"(seed-{args.seed} egress signature "
                       f"{row['egress_signature'][:16]}... reproduced)")
     if failed:
+        raise SystemExit(1)
+
+
+def cmd_workloads(args) -> None:
+    from repro.analysis import format_table
+    from repro.workloads import registry
+
+    specs = [registry.get(name) for name in registry.names()]
+    if args.json:
+        print(json.dumps([{
+            "name": spec.name,
+            "scope": spec.scope,
+            "profile": spec.profile.as_dict(),
+            "ports": list(spec.ports),
+            "defaults": dict(spec.defaults),
+            "has_driver": spec.driver is not None,
+            "description": spec.description,
+        } for spec in specs], indent=2, default=repr))
+        return
+    print("Deployable workloads (scenario/TOML `workload = \"<name>\"`; "
+          "defaults overridable via [tenants.workload_params])")
+    print(format_table(
+        ["workload", "scope", "cpu", "disk", "net", "port", "driver",
+         "description"],
+        [(spec.name, spec.scope,
+          f"{spec.profile.cpu:.2f}", f"{spec.profile.disk:.2f}",
+          f"{spec.profile.net:.2f}",
+          ",".join(str(port) for port in spec.ports) or "-",
+          "yes" if spec.driver is not None else "no",
+          spec.description) for spec in specs]))
+
+
+def cmd_storage(args) -> None:
+    from repro.analysis.storage import (run_storage_repair_cell,
+                                        write_storage_bench)
+
+    result = run_storage_repair_cell(
+        seed=args.seed, duration=args.duration, k=args.k, n=args.n,
+        object_size=args.object_size, objects=args.objects,
+        crash_at=args.crash_at, check_determinism=not args.once,
+        profile=args.profile)
+    if args.output:
+        config = {"seed": args.seed, "duration": args.duration,
+                  "k": args.k, "n": args.n,
+                  "object_size": args.object_size,
+                  "objects": args.objects, "crash_at": args.crash_at}
+        path = write_storage_bench(args.output, result,
+                                   label=args.label, config=config)
+        if not args.json:
+            print(f"appended entry to {path}")
+    if args.json:
+        print(json.dumps(result, indent=2, default=repr))
+    else:
+        print(f"Storage repair cell: {args.k}-of-{args.n} over "
+              f"{result['objects_stored']} x {args.object_size} B "
+              f"objects; host {result['victim_host']} condemned at "
+              f"t={args.crash_at}s")
+        print(f"  client: {result['puts_completed']} puts, "
+              f"{result['gets_completed']} gets, "
+              f"{result['verify_failures']} verify failures, "
+              f"{result['client_retries']} retries")
+        print(f"  repair: {result['repairs_completed']}/"
+              f"{result['repairs_started']} completed, "
+              f"{result['repaired_bytes']} B reconstructed "
+              f"({result['repaired_bytes_per_sim_s']:.0f} B/sim-s); "
+              f"healer: {result['evacuations']} evacuations")
+        print(f"  shares: min {result['min_live_shares']}/{args.n} "
+              f"live per object, digests "
+              f"{'verified' if result['shares_verified'] else 'MISMATCH'}")
+        if result["deterministic"] is not None:
+            print(f"  determinism: "
+                  f"{'PASS' if result['deterministic'] else 'FAIL'} "
+                  f"({result['signature_records']} signature records)")
+        for violation in result["violations"]:
+            print(f"  violation: {violation}")
+    if args.profile and result.get("profile"):
+        from repro.bench.cli import profile_lines
+        for line in profile_lines(result["profile"]):
+            print(line)
+    if not result["ok"]:
         raise SystemExit(1)
 
 
@@ -620,7 +703,8 @@ def cmd_list(args) -> None:
     from repro.analysis.experiments import RUNNERS
     print("Available experiments: fig1 fig4 fig5 fig6 fig7 fig8 "
           "placement offsets covert collab trace metrics spans flows "
-          "chaos mitigate scale bench-kernel bench campaign")
+          "chaos mitigate scale storage workloads bench-kernel bench "
+          "campaign")
     print("Campaign runners: " + " ".join(sorted(RUNNERS)))
 
 
@@ -809,7 +893,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=_positive_int, default=None,
                    help="ingress/egress shard count (default 1)")
     p.add_argument("--workload", default="echo",
-                   choices=["echo", "fileserver", "nfs"])
+                   help="any registry workload name "
+                        "(see `repro workloads`)")
+    p.add_argument("--workload-param", action="append", default=None,
+                   metavar="KEY=VALUE",
+                   help="override a workload default (repeatable; JSON "
+                        "values accepted, e.g. --workload-param n=4)")
     p.add_argument("--clients", type=_positive_int, default=1,
                    help="client machines per tenant VM")
     p.add_argument("--rate", type=float, default=40.0,
@@ -829,6 +918,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the profile as speedscope JSON "
                         "(requires --profile)")
     p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser("workloads", help="list the deployable workload "
+                                         "registry: name, scope, "
+                                         "resource profile, defaults")
+    p.add_argument("--json", action="store_true",
+                   help="print the registry as JSON")
+    p.set_defaults(fn=cmd_workloads)
+
+    p = sub.add_parser("storage", help="erasure-coded storage tenant "
+                                       "under a host crash: k-of-n "
+                                       "share repair across the "
+                                       "mediated fabric, invariant-"
+                                       "gated")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--duration", type=float, default=6.0,
+                   help="simulated seconds (includes a 1.5s drain)")
+    p.add_argument("--k", type=_positive_int, default=2,
+                   help="data shares per object")
+    p.add_argument("--n", type=_positive_int, default=3,
+                   help="total shares == tenant VMs")
+    p.add_argument("--object-size", type=_positive_int, default=8192,
+                   help="bytes per stored object")
+    p.add_argument("--objects", type=_positive_int, default=3,
+                   help="objects in the client's working set")
+    p.add_argument("--crash-at", type=float, default=1.2,
+                   help="when the share-holding host is condemned")
+    p.add_argument("--once", action="store_true",
+                   help="skip the same-seed determinism replay")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="append the cell entry to a trajectory file "
+                        "(e.g. BENCH_storage.json)")
+    p.add_argument("--label", default="head",
+                   help="label recorded in --output")
+    p.add_argument("--json", action="store_true",
+                   help="print the full cell result as JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="profile the primary run and report subsystem "
+                        "CPU attribution (measurement-only)")
+    p.set_defaults(fn=cmd_storage)
 
     p = sub.add_parser("bench-kernel", help="event-loop throughput on "
                                             "the consolidated fleet "

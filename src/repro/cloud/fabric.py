@@ -66,6 +66,10 @@ class ReplicatedVM:
     recorders: Dict[int, object] = field(default_factory=dict)
     #: the mitigation policy this VM's timing runs under
     policy: Optional[MitigationPolicy] = None
+    #: declared cpu/disk/net demand weights
+    #: (:class:`repro.workloads.registry.ResourceProfile`), read by the
+    #: placement utilisation report; purely descriptive
+    resource_profile: Optional[object] = None
 
     @property
     def address(self) -> str:
@@ -161,6 +165,11 @@ class Cloud:
         #: optional EvacuationController (repro.faults.heal) notified of
         #: suspicions and condemned hosts
         self.healer = None
+        #: observers of replica membership events: ``fn(vm_name,
+        #: replica_id, up)`` fires on every deduplicated suspicion
+        #: (``up=False``) and rejoin (``up=True``) -- e.g. a storage
+        #: tenant's repair daemon reconstructing at-risk shares
+        self.replica_listeners: List[Callable] = []
         self._started = False
         if placer == "auto":
             self._placer_mode = "auto"
@@ -275,7 +284,7 @@ class Cloud:
     def create_vm(self, name: str,
                   workload_factory: Optional[Callable] = None,
                   hosts: Optional[Sequence[int]] = None,
-                  policy=None) -> ReplicatedVM:
+                  policy=None, profile=None) -> ReplicatedVM:
         """Deploy a guest VM (replicated per the config).
 
         ``workload_factory(guest_os)`` is called once per replica and must
@@ -327,7 +336,8 @@ class Cloud:
 
         vm = ReplicatedVM(name=name, hosts=hosts, vmms=vmms, shard=shard,
                           workload_factory=workload_factory,
-                          workload_seed=workload_seed, policy=vm_policy)
+                          workload_seed=workload_seed, policy=vm_policy,
+                          resource_profile=profile)
         self.vms[name] = vm
 
         if vm_policy.coordinated and replica_count > 1:
@@ -406,6 +416,34 @@ class Cloud:
             start_seq=start_seq)
         return receiver
 
+    def resource_load(self) -> Dict[int, Dict[str, float]]:
+        """Per-host declared resource demand: each live replica adds
+        its VM's normalized :class:`ResourceProfile` weights.  Purely
+        observational (drives the ``repro workloads``/placement
+        utilisation reports); VMs deployed without a profile count as
+        replicas but add no weight."""
+        report: Dict[int, Dict[str, float]] = {
+            host.host_id: {"cpu": 0.0, "disk": 0.0, "net": 0.0,
+                           "replicas": 0}
+            for host in self.hosts}
+        for vm in self.vms.values():
+            profile = vm.resource_profile
+            weights = profile.normalized() if profile is not None \
+                else None
+            for vmm in vm.vmms:
+                if vmm.failed:
+                    continue
+                row = report[vmm.host.host_id]
+                row["replicas"] += 1
+                if weights is not None:
+                    row["cpu"] += weights[0]
+                    row["disk"] += weights[1]
+                    row["net"] += weights[2]
+        for row in report.values():
+            for axis in ("cpu", "disk", "net"):
+                row[axis] = round(row[axis], 9)
+        return report
+
     # ------------------------------------------------------------------
     # failure propagation (coordination layer -> fabric -> egress)
     # ------------------------------------------------------------------
@@ -425,6 +463,8 @@ class Cloud:
             self.egress_for(vm_name).mark_replica_down(vm_name, replica_id)
         if self.healer is not None:
             self.healer.replica_suspected(vm_name, replica_id)
+        for listener in self.replica_listeners:
+            listener(vm_name, replica_id, False)
 
     def _replica_rejoined(self, vm_name: str, replica_id: int) -> None:
         down = self._down_replicas.get(vm_name)
@@ -433,6 +473,15 @@ class Cloud:
         down.discard(replica_id)
         if self.config.egress_enabled:
             self.egress_for(vm_name).mark_replica_up(vm_name, replica_id)
+        for listener in self.replica_listeners:
+            listener(vm_name, replica_id, True)
+
+    def add_replica_listener(self, listener: Callable) -> None:
+        """Register ``listener(vm_name, replica_id, up)`` for the
+        deduplicated replica suspicion/rejoin stream (after the healer
+        has been notified, so a listener observes the same membership
+        view the heal pipeline acts on)."""
+        self.replica_listeners.append(listener)
 
     def _ingress_loss(self, vmm: ReplicaVMM, pgm_seq: int) -> None:
         """NAK repair of an ingress datagram failed: this replica has

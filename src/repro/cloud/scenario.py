@@ -77,19 +77,24 @@ BUILTIN_WAN: Dict[str, WanProfile] = {
 # ---------------------------------------------------------------------------
 # tenants
 # ---------------------------------------------------------------------------
-#: workload kinds a tenant can run (server factory resolved lazily so
-#: importing the spec layer stays cheap)
-WORKLOAD_KINDS = ("echo", "fileserver", "nfs")
-
-
 @dataclass
 class TenantSpec:
-    """A population of identical guest VMs plus their client load."""
+    """A population of identical guest VMs plus their client load.
+
+    ``workload`` names an entry in the pluggable registry
+    (:mod:`repro.workloads.registry`); ``workload_params`` carries the
+    workload's own knobs (validated against the spec's declared
+    defaults).  Registry specs with ``scope="vm"`` get ``clients``
+    drivers per VM, each targeting that VM; ``scope="tenant"``
+    workloads (e.g. ``storage``) get ``clients`` drivers per *tenant*,
+    each handed the ordered list of all the tenant's VM addresses.
+    """
 
     name: str
     count: int = 1
     workload: str = "echo"
-    #: external client machines per VM
+    #: external client machines per VM (per tenant for tenant-scoped
+    #: workloads)
     clients: int = 1
     #: WAN profile name the clients connect over
     wan: str = "campus"
@@ -112,21 +117,41 @@ class TenantSpec:
     policy: Optional[str] = None
     #: constructor params for the policy (e.g. {"bound": 0.02})
     policy_params: Dict[str, Any] = field(default_factory=dict)
+    #: workload-specific knobs (e.g. {"k": 2, "n": 3} for storage);
+    #: validated against the registry spec's declared defaults
+    workload_params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        from repro.workloads import registry
+
         if not self.name or any(c in self.name for c in "/: "):
             raise ScenarioError(f"bad tenant name {self.name!r}")
         if self.count < 1:
             raise ScenarioError(
                 f"tenant {self.name!r}: count must be >= 1, "
                 f"got {self.count}")
-        if self.workload not in WORKLOAD_KINDS:
+        try:
+            wspec = registry.get(self.workload)
+        except registry.UnknownWorkloadError as exc:
             raise ScenarioError(
-                f"tenant {self.name!r}: unknown workload "
-                f"{self.workload!r}; choose one of {WORKLOAD_KINDS}")
+                f"tenant {self.name!r}: {exc}") from None
+        try:
+            wspec.params_for(self.workload_params)
+        except ValueError as exc:
+            raise ScenarioError(
+                f"tenant {self.name!r}: {exc}") from None
         if self.clients < 0:
             raise ScenarioError(
                 f"tenant {self.name!r}: clients must be >= 0")
+        if self.clients and wspec.driver is None:
+            raise ScenarioError(
+                f"tenant {self.name!r}: workload {self.workload!r} "
+                f"has no client driver; set clients = 0")
+        if wspec.check is not None:
+            problem = wspec.check(self)
+            if problem:
+                raise ScenarioError(
+                    f"tenant {self.name!r}: {problem}")
         if self.request_rate <= 0:
             raise ScenarioError(
                 f"tenant {self.name!r}: request_rate must be positive")
@@ -303,77 +328,14 @@ class ScenarioSpec:
 # ---------------------------------------------------------------------------
 # client load drivers
 # ---------------------------------------------------------------------------
-class DownloadLoop:
-    """Fileserver client: fetches ``size`` bytes in a closed loop."""
-
-    def __init__(self, client_node, target: str, size: int,
-                 timeout: Optional[float] = None, max_retries: int = 3,
-                 backoff_base: float = 0.05):
-        from repro.workloads.fileserver import HttpDownloader
-
-        self.downloader = HttpDownloader(
-            client_node, target, timeout=timeout,
-            max_retries=max_retries, backoff_base=backoff_base)
-        self.size = size
-        self.completed = 0
-        self.failed = 0
-        self._running = False
-
-    def start(self) -> None:
-        self._running = True
-        self._fetch()
-
-    def stop(self) -> None:
-        self._running = False
-
-    def _fetch(self) -> None:
-        if not self._running:
-            return
-        self.downloader.download(self.size, on_done=self._on_done,
-                                 on_fail=self._on_fail)
-
-    def _on_done(self, _latency: float) -> None:
-        self.completed += 1
-        self._fetch()
-
-    def _on_fail(self, _size: int) -> None:
-        # retries exhausted (only with a timeout set): count it and
-        # keep the closed loop alive rather than silently stalling
-        self.failed += 1
-        self._fetch()
-
-    @property
-    def latencies(self) -> List[float]:
-        return self.downloader.latencies
-
-
-def _make_server_factory(kind: str) -> Callable:
-    if kind == "echo":
-        from repro.workloads.echo import EchoServer
-        return EchoServer
-    if kind == "fileserver":
-        from repro.workloads.fileserver import FileServer
-        return FileServer
-    from repro.workloads.nfs import NfsServer
-    return NfsServer
-
-
-def _make_driver(kind: str, client_node, target: str,
-                 tenant: TenantSpec):
-    if kind == "echo":
-        from repro.workloads.echo import PingClient
-        return PingClient(client_node, target,
-                          mean_interval=1.0 / tenant.request_rate,
-                          timeout=tenant.request_timeout,
-                          max_retries=tenant.max_retries,
-                          backoff_base=tenant.backoff_base)
-    if kind == "fileserver":
-        return DownloadLoop(client_node, target, tenant.file_bytes,
-                            timeout=tenant.request_timeout,
-                            max_retries=tenant.max_retries,
-                            backoff_base=tenant.backoff_base)
-    from repro.workloads.nfs import NhfsstoneClient
-    return NhfsstoneClient(client_node, target, rate=tenant.request_rate)
+def __getattr__(name: str):
+    # DownloadLoop moved to repro.workloads.fileserver next to the
+    # other client drivers; resolve the pre-registry import path
+    # lazily so the spec layer stays import-light.
+    if name == "DownloadLoop":
+        from repro.workloads.fileserver import DownloadLoop
+        return DownloadLoop
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -447,6 +409,7 @@ class CloudBuilder:
 
     def build(self, sim) -> BuiltScenario:
         from repro.cloud.fabric import Cloud
+        from repro.workloads import registry
 
         spec = self.spec
         machines, capacity = spec.resolved_fleet()
@@ -466,19 +429,23 @@ class CloudBuilder:
         client_index = 0
         loose_slot = 0   # round-robin host cursor for non-triangle VMs
         for tenant in spec.tenants:
-            server_factory = _make_server_factory(tenant.workload)
+            wspec = registry.get(tenant.workload)
+            params = wspec.params_for(tenant.workload_params)
+            server_factory = wspec.make_server(params)
             names = tenant.vm_names()
             tenant_vms[tenant.name] = names
             vm_policy = tenant.make_policy()
             replica_count = (vm_policy.replica_count(config)
                              if vm_policy is not None else config.replicas)
+            wan = spec.wan[tenant.wan]
             for vm_index, vm_name in enumerate(names):
                 if tenant.hosts is not None:
                     if replica_count == 3:
                         placer.place_at(vm_name, tenant.hosts[vm_index])
                     cloud.create_vm(vm_name, server_factory,
                                     hosts=list(tenant.hosts[vm_index]),
-                                    policy=vm_policy)
+                                    policy=vm_policy,
+                                    profile=wspec.profile)
                 elif replica_count != 3:
                     # non-triangle (single-replica policy) VMs bypass
                     # the triangle placer: spread them round-robin,
@@ -487,19 +454,38 @@ class CloudBuilder:
                             for i in range(replica_count)]
                     loose_slot += replica_count
                     cloud.create_vm(vm_name, server_factory,
-                                    hosts=pins, policy=vm_policy)
+                                    hosts=pins, policy=vm_policy,
+                                    profile=wspec.profile)
                 else:
                     cloud.create_vm(vm_name, server_factory,
-                                    policy=vm_policy)
-                wan = spec.wan[tenant.wan]
+                                    policy=vm_policy,
+                                    profile=wspec.profile)
+                if wspec.scope != "vm":
+                    continue
                 for slot in range(tenant.clients):
                     port = cloud.add_client(
                         f"client:{vm_name}.{slot}",
                         latency=wan.latency, bandwidth=wan.bandwidth,
                         jitter=wan.jitter)
-                    driver = _make_driver(tenant.workload, port,
-                                          f"vm:{vm_name}", tenant)
+                    driver = wspec.make_driver(port, f"vm:{vm_name}",
+                                               tenant, params)
                     drivers[(vm_name, slot)] = driver
+                    start_at = spec.start_delay \
+                        + spec.stagger * client_index
+                    sim.call_after(start_at, driver.start)
+                    client_index += 1
+            if wspec.scope == "tenant":
+                # tenant-scoped drivers see the whole VM population
+                # (e.g. one erasure-coded object striped across it)
+                targets = [f"vm:{vm_name}" for vm_name in names]
+                for slot in range(tenant.clients):
+                    port = cloud.add_client(
+                        f"client:{tenant.name}.{slot}",
+                        latency=wan.latency, bandwidth=wan.bandwidth,
+                        jitter=wan.jitter)
+                    driver = wspec.make_driver(port, targets, tenant,
+                                               params)
+                    drivers[(tenant.name, slot)] = driver
                     start_at = spec.start_delay \
                         + spec.stagger * client_index
                     sim.call_after(start_at, driver.start)

@@ -66,6 +66,11 @@ class EvacuationController:
         self.placer = placer if placer is not None else cloud.placer
         self.evacuations: List[dict] = []
         self.failures: List[dict] = []
+        #: observers called as ``fn(vm_name, replica_id, mode)`` after
+        #: every completed heal (mode: skip/readmit/rejoin/evacuate) --
+        #: lets workload-level repair (e.g. the storage tenant's
+        #: RepairDaemon) re-verify state once the replica is back
+        self.on_complete: List = []
         self._scheduled: set = set()   # (vm_name, replica_id) pending
         cloud.healer = self
 
@@ -141,6 +146,8 @@ class EvacuationController:
                               vm=vm_name, replica=replica_id,
                               mode=mode, reason=reason, attempt=attempt,
                               elapsed=round(elapsed, 9))
+        for listener in self.on_complete:
+            listener(vm_name, replica_id, mode)
 
     def _suspected_by_peers(self, vm, replica_id: int) -> bool:
         """Does any live sibling's failure detector consider

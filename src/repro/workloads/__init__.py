@@ -6,6 +6,12 @@ instantiated once per replica against a
 
     cloud.create_vm("web", lambda guest: FileServer(guest))
 
+Deployable workloads are declared in the pluggable registry
+(:mod:`repro.workloads.registry`): one :class:`WorkloadSpec` per name,
+carrying the server/driver factories, default params, and a declared
+cpu/disk/net :class:`ResourceProfile`.  The scenario layer resolves
+tenants exclusively through it.
+
 - :mod:`repro.workloads.echo` -- UDP echo / ping responder (used by the
   side-channel experiments as the attacker's observable event source).
 - :mod:`repro.workloads.fileserver` -- HTTP-style file download over
@@ -15,13 +21,19 @@ instantiated once per replica against a
   nhfsstone-style load generator (Fig. 6).
 - :mod:`repro.workloads.parsec` -- five PARSEC-representative compute
   kernels with calibrated compute/disk plans (Fig. 7).
+- :mod:`repro.workloads.storage` -- k-of-n erasure-coded object store:
+  one share per tenant VM, client-side fan-out, and a suspicion-driven
+  repair daemon.
 """
 
+from repro.workloads import registry
 from repro.workloads.base import GuestWorkload
 from repro.workloads.echo import EchoServer, PingClient
 from repro.workloads.fileserver import (
+    DownloadLoop,
     FileServer,
     HttpDownloader,
+    UdpDownloadLoop,
     UdpFileServer,
     UdpDownloader,
 )
@@ -30,16 +42,65 @@ from repro.workloads.nfs import (
     NfsServer,
     NhfsstoneClient,
 )
+from repro.workloads.parsec import (
+    PARSEC_KERNELS,
+    BlackScholes,
+    BlackScholesParallel,
+    Canneal,
+    Dedup,
+    Ferret,
+    ParsecWorkload,
+    RunCollector,
+    StreamCluster,
+)
+from repro.workloads.registry import (
+    ResourceProfile,
+    UnknownWorkloadError,
+    WorkloadSpec,
+)
+from repro.workloads.storage import (
+    ErasureCodec,
+    RepairDaemon,
+    ShareServer,
+    StorageClient,
+    StorageLoop,
+)
 
 __all__ = [
     "GuestWorkload",
+    # registry
+    "registry",
+    "ResourceProfile",
+    "UnknownWorkloadError",
+    "WorkloadSpec",
+    # echo
     "EchoServer",
     "PingClient",
+    # fileserver
+    "DownloadLoop",
     "FileServer",
     "HttpDownloader",
+    "UdpDownloadLoop",
     "UdpFileServer",
     "UdpDownloader",
+    # nfs
     "NFS_OPERATION_MIX",
     "NfsServer",
     "NhfsstoneClient",
+    # parsec
+    "PARSEC_KERNELS",
+    "BlackScholes",
+    "BlackScholesParallel",
+    "Canneal",
+    "Dedup",
+    "Ferret",
+    "ParsecWorkload",
+    "RunCollector",
+    "StreamCluster",
+    # storage
+    "ErasureCodec",
+    "RepairDaemon",
+    "ShareServer",
+    "StorageClient",
+    "StorageLoop",
 ]

@@ -338,3 +338,77 @@ class UdpDownloader:
             self.udp.send(self.server_addr, self.local_port, self.port, 64,
                           tag=("NAK", transfer_id, tuple(missing[:64])))
             self.node.schedule(self.nak_delay, self._send_naks, transfer_id)
+
+
+class DownloadLoop:
+    """Fileserver client: fetches ``size`` bytes in a closed loop."""
+
+    def __init__(self, client_node, target: str, size: int,
+                 timeout: Optional[float] = None, max_retries: int = 3,
+                 backoff_base: float = 0.05):
+        self.downloader = HttpDownloader(
+            client_node, target, timeout=timeout,
+            max_retries=max_retries, backoff_base=backoff_base)
+        self.size = size
+        self.completed = 0
+        self.failed = 0
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._fetch()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _fetch(self) -> None:
+        if not self._running:
+            return
+        self.downloader.download(self.size, on_done=self._on_done,
+                                 on_fail=self._on_fail)
+
+    def _on_done(self, _latency: float) -> None:
+        self.completed += 1
+        self._fetch()
+
+    def _on_fail(self, _size: int) -> None:
+        # retries exhausted (only with a timeout set): count it and
+        # keep the closed loop alive rather than silently stalling
+        self.failed += 1
+        self._fetch()
+
+    @property
+    def latencies(self) -> List[float]:
+        return self.downloader.latencies
+
+
+class UdpDownloadLoop:
+    """UDP file-service client: fetches ``size`` bytes in a closed
+    loop over the NAK-reliable paced transfer (Fig. 5's low-inbound
+    regime)."""
+
+    def __init__(self, client_node, target: str, size: int):
+        self.downloader = UdpDownloader(client_node, target)
+        self.size = size
+        self.completed = 0
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._fetch()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _fetch(self) -> None:
+        if not self._running:
+            return
+        self.downloader.download(self.size, on_done=self._on_done)
+
+    def _on_done(self, _latency: float) -> None:
+        self.completed += 1
+        self._fetch()
+
+    @property
+    def latencies(self) -> List[float]:
+        return self.downloader.latencies

@@ -41,6 +41,8 @@ MINIMAL_KWARGS = {
                         "duration": 2.0, "seed": 3},
     "mitigation_frontier": {"policies": ("none",), "attacks": ("probe",),
                             "duration": 2.0, "seeds": [3], "jobs": 1},
+    "storage_repair": {"duration": 4.5, "crash_at": 1.0,
+                       "check_determinism": False},
 }
 
 
@@ -67,7 +69,7 @@ def test_every_runner_has_a_smoke_entry():
 @pytest.mark.parametrize("name", sorted(RUNNERS))
 def test_runner_returns_nonempty_finite_rows(name):
     result = RUNNERS[name](**MINIMAL_KWARGS[name])
-    if name in ("chaos_cell", "mitigation_frontier"):
+    if name in ("chaos_cell", "mitigation_frontier", "storage_repair"):
         # list fields are empty precisely when the cell is healthy
         result = {key: value for key, value in result.items()
                   if value != []}

@@ -37,6 +37,27 @@ class TestSpecValidation:
         with pytest.raises(ScenarioError, match="unknown workload"):
             TenantSpec(name="a", workload="database")
 
+    def test_unknown_workload_suggests_close_match(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            TenantSpec(name="a", workload="echoo")
+        message = str(excinfo.value)
+        assert "registered workloads" in message
+        assert "did you mean 'echo'?" in message
+
+    def test_unknown_workload_param_rejected(self):
+        with pytest.raises(ScenarioError, match="no_such"):
+            TenantSpec(name="a", workload="echo",
+                       workload_params={"no_such": 1})
+
+    def test_clients_without_driver_rejected(self):
+        with pytest.raises(ScenarioError, match="no client driver"):
+            TenantSpec(name="a", workload="parsec.canneal", clients=1)
+
+    def test_workload_params_accepted(self):
+        tenant = TenantSpec(name="s", count=3, workload="storage",
+                            workload_params={"k": 2, "n": 3})
+        assert tenant.workload_params == {"k": 2, "n": 3}
+
     def test_unknown_wan_profile_rejected(self):
         with pytest.raises(ScenarioError, match="unknown WAN profile"):
             small_spec(tenants=[TenantSpec(name="a", wan="dialup")])
@@ -213,3 +234,31 @@ class TestBuiltFabric:
         outputs = built.per_tenant_outputs()
         assert all(any(c > 0 for c in counts)
                    for counts in outputs.values())
+
+    def test_tenant_scope_driver_gets_all_vm_addresses(self):
+        spec = ScenarioSpec(
+            name="store",
+            machines=9,
+            tenants=[TenantSpec(name="s", count=3, workload="storage",
+                                workload_params={"k": 2, "n": 3,
+                                                 "object_size": 4096})])
+        sim = Simulator(seed=11)
+        built = spec.build(sim)
+        # one driver per tenant slot, keyed by tenant name, fanning
+        # across the ordered VM list
+        assert set(built.drivers) == {("s", 0)}
+        driver = built.drivers[("s", 0)]
+        assert driver.client.targets == \
+            [f"vm:{name}" for name in built.tenant_vms["s"]]
+
+    def test_workload_params_flow_into_guests(self):
+        spec = ScenarioSpec(
+            name="tuned",
+            tenants=[TenantSpec(name="web", count=1,
+                                workload="fileserver",
+                                workload_params={"request_compute": 7})])
+        sim = Simulator(seed=4)
+        built = spec.build(sim)
+        vm_name = built.tenant_vms["web"][0]
+        for workload in built.cloud.vms[vm_name].workloads:
+            assert workload.request_compute == 7

@@ -1,0 +1,160 @@
+"""Tests for the pluggable workload registry."""
+
+import pytest
+
+from repro.workloads import registry
+from repro.workloads.registry import (
+    ResourceProfile,
+    UnknownWorkloadError,
+    WorkloadSpec,
+)
+
+EXPECTED_BUILTINS = {
+    "echo", "fileserver", "udp-file", "nfs", "storage",
+    "parsec.ferret", "parsec.blackscholes", "parsec.canneal",
+    "parsec.dedup", "parsec.streamcluster",
+}
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert EXPECTED_BUILTINS <= set(registry.names())
+
+    def test_names_sorted(self):
+        assert registry.names() == sorted(registry.names())
+
+    def test_get_returns_spec(self):
+        spec = registry.get("echo")
+        assert isinstance(spec, WorkloadSpec)
+        assert spec.name == "echo"
+        assert spec.scope == "vm"
+
+    def test_unknown_name_lists_and_suggests(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            registry.get("fileservr")
+        message = str(excinfo.value)
+        assert "unknown workload 'fileservr'" in message
+        assert "echo" in message and "storage" in message
+        assert "did you mean 'fileserver'?" in message
+        # the listing is sorted
+        listed = message.split("registered workloads: ")[1]
+        listed = listed.split(" (did")[0].split(", ")
+        assert listed == sorted(listed)
+
+    def test_unknown_name_without_close_match(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            registry.get("zzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+
+    def test_register_rejects_duplicates(self):
+        spec = registry.get("echo")
+        with pytest.raises(ValueError):
+            registry.register(spec)
+
+    def test_register_replace_roundtrip(self):
+        original = registry.get("echo")
+        registry.register(original, replace=True)
+        assert registry.get("echo") is original
+
+
+class TestWorkloadSpec:
+    def test_params_for_merges_defaults(self):
+        spec = registry.get("storage")
+        params = spec.params_for({"k": 3, "n": 5})
+        assert params["k"] == 3 and params["n"] == 5
+        assert params["object_size"] == \
+            spec.defaults["object_size"]
+
+    def test_params_for_rejects_unknown_keys(self):
+        spec = registry.get("echo")
+        with pytest.raises(ValueError) as excinfo:
+            spec.params_for({"no_such_knob": 1})
+        assert "no_such_knob" in str(excinfo.value)
+
+    def test_make_server_builds_configured_factory(self):
+        spec = registry.get("echo")
+        factory = spec.make_server(spec.params_for({}))
+        # one-guest callable; construction against a real guest is
+        # covered by the scenario and workload e2e tests
+        assert callable(factory)
+
+    def test_make_driver_without_driver_raises(self):
+        spec = registry.get("parsec.ferret")
+        with pytest.raises(ValueError) as excinfo:
+            spec.make_driver(None, "vm:x", None, {})
+        assert "no client driver" in str(excinfo.value)
+
+    def test_storage_check_requires_count_match(self):
+        from repro.cloud.scenario import ScenarioError, TenantSpec
+
+        with pytest.raises(ScenarioError) as excinfo:
+            TenantSpec(name="s", count=4, workload="storage",
+                       workload_params={"k": 2, "n": 3})
+        assert "n" in str(excinfo.value)
+
+    def test_parsec_check_rejects_clients(self):
+        from repro.cloud.scenario import ScenarioError, TenantSpec
+
+        with pytest.raises(ScenarioError):
+            TenantSpec(name="p", count=1, workload="parsec.ferret",
+                       clients=1)
+
+
+class TestResourceProfile:
+    def test_normalized_sums_to_one(self):
+        cpu, disk, net = ResourceProfile(cpu=2.0, disk=1.0,
+                                         net=1.0).normalized()
+        assert abs(cpu + disk + net - 1.0) < 1e-9
+        assert cpu == pytest.approx(0.5)
+
+    def test_dominant_axis(self):
+        assert registry.get("storage").profile.dominant() == "disk"
+        assert registry.get("parsec.ferret").profile.dominant() == "cpu"
+
+    def test_profile_lands_on_fabric(self):
+        from repro.analysis.scale import build_scale_spec
+        from repro.sim.kernel import Simulator
+        from repro.sim.monitor import Trace
+
+        sim = Simulator(seed=3, trace=Trace(enabled=False))
+        built = build_scale_spec(2, workload="fileserver").build(sim)
+        for vm in built.cloud.vms.values():
+            assert vm.resource_profile is \
+                registry.get("fileserver").profile
+        load = built.cloud.resource_load()
+        occupied = [row for row in load.values() if row["replicas"]]
+        assert occupied
+        for row in occupied:
+            assert row["disk"] > 0.0
+
+
+class TestPlacementResourceReport:
+    def test_declared_pressure_per_machine(self):
+        from repro.placement.scheduler import (PlacementScheduler,
+                                               resource_report)
+
+        placer = PlacementScheduler(9, 4)
+        placer.place("web")
+        placer.place("store")
+        report = resource_report(placer, {
+            "web": registry.get("fileserver").profile,
+            "store": registry.get("storage").profile,
+        })
+        assert set(report) == set(range(9))
+        loaded = [row for row in report.values() if row["replicas"]]
+        assert len(loaded) == 6   # two disjoint triangles
+        for row in loaded:
+            assert row["dominant"] == "disk"
+            assert abs(row["cpu"] + row["disk"] + row["net"] - 1.0) < 1e-6
+
+    def test_missing_profile_counts_replicas_only(self):
+        from repro.placement.scheduler import (PlacementScheduler,
+                                               resource_report)
+
+        placer = PlacementScheduler(9, 4)
+        placer.place("anon")
+        report = resource_report(placer, {})
+        loaded = [row for row in report.values() if row["replicas"]]
+        assert len(loaded) == 3
+        for row in loaded:
+            assert row["cpu"] == 0.0 and row["dominant"] is None
